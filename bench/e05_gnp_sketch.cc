@@ -1,0 +1,162 @@
+// Experiment E5 (DESIGN.md): Proposition 54 -- the nearly periodic
+// function g_np escapes the zero-one law and is 1-pass tractable via its
+// bespoke modular sketch, while the generic Algorithm 2 route fails on it.
+//
+// g_np(x) = 2^{-i_x} drops by a factor of the domain size (not
+// slow-dropping), so H(M) is ~M and the generic pruning interval
+// collapses; worse, a +-1 frequency estimation error flips g_np by an
+// unbounded factor, so generic covers carry garbage weights.  The bespoke
+// sketch recovers exact g_np values through low-bit arithmetic.
+//
+// Table 1: end-to-end g_np-SUM error, bespoke vs generic, vs space.
+// Table 2: single-heavy-hitter identity recovery rate of the bespoke
+//          sketch vs substream count (the O(lambda^-2) hashing knob).
+
+#include <cstdio>
+#include <vector>
+
+#include "core/gnp_sketch.h"
+#include "core/gsum.h"
+#include "core/recursive_sketch.h"
+#include "stream/exact.h"
+#include "stream/generators.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace gstream {
+namespace {
+
+void SumAccuracyTable() {
+  Rng data_rng(0xE05);
+  const uint64_t domain = 1 << 14;
+  // The adversarial regime for the generic route: the g_np mass sits on 40
+  // frequency-1 items (g_np = 1 each, ~97% of the sum) buried under 4000
+  // items at frequency 4096 * odd (g_np = 2^-12 each).  The decisive items
+  // are g_np-heavy but F2-light by a factor ~10^7, so no CountSketch of
+  // sub-linear size can see them -- exactly why g_np would be intractable
+  // were it not nearly periodic.  The bespoke sketch finds them through
+  // low-bit arithmetic: a frequency-1 item is the unique minimal-low-bit
+  // item of its substream.
+  FrequencyMap freq;
+  while (freq.size() < 4000) {
+    const ItemId id = data_rng.UniformUint64(domain);
+    freq[id] = 4096 * (2 * data_rng.UniformInt(1, 8) - 1);
+  }
+  while (freq.size() < 4040) {
+    const ItemId id = data_rng.UniformUint64(domain);
+    if (!freq.contains(id)) freq[id] = 1;
+  }
+  const Workload w =
+      MakeStreamFromFrequencies(domain, freq, StreamShapeOptions{},
+                                data_rng);
+  const GFunctionPtr gnp = MakeGnp();
+  const double truth = ExactGSum(w.frequencies, gnp->AsCallable());
+
+  TablePrinter table(
+      {"algorithm", "config", "space", "median_err", "p90_err"});
+
+  for (const size_t substreams : {64u, 128u, 256u}) {
+    GnpSketchOptions options;
+    options.substreams = substreams;
+    options.trials = 32;
+    options.id_bits = 14;
+    const GHeavyHitterFactory factory = [options](int /*level*/, Rng& rng) {
+      return std::make_unique<GnpHeavyHitter>(options, rng);
+    };
+    std::vector<double> errors;
+    size_t space = 0;
+    Rng rng(0x515);
+    for (int t = 0; t < 5; ++t) {
+      RecursiveGSum sketch(/*levels=*/6, factory, rng);
+      for (const Update& u : w.stream.updates()) {
+        sketch.Update(u.item, u.delta);
+      }
+      errors.push_back(RelativeError(sketch.Estimate(*gnp), truth));
+      space = sketch.SpaceBytes();
+    }
+    const ErrorSummary s = SummarizeErrors(errors, 0.25);
+    char config[32];
+    std::snprintf(config, sizeof(config), "C=%zu,D=32", substreams);
+    table.AddRow({"bespoke(Prop54)", config, TablePrinter::FormatBytes(space),
+                  TablePrinter::FormatDouble(s.median_rel_error, 4),
+                  TablePrinter::FormatDouble(s.p90_rel_error, 4)});
+  }
+
+  for (const size_t buckets : {1024u, 4096u}) {
+    std::vector<double> errors;
+    size_t space = 0;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      GSumOptions options;
+      options.passes = 1;
+      options.cs_buckets = buckets;
+      options.candidates = 48;
+      options.repetitions = 5;
+      options.envelope_domain = 1 << 14;
+      options.seed = seed;
+      GSumEstimator estimator(gnp, domain, options);
+      errors.push_back(RelativeError(estimator.Process(w.stream), truth));
+      space = estimator.SpaceBytes();
+    }
+    const ErrorSummary s = SummarizeErrors(errors, 0.25);
+    char config[32];
+    std::snprintf(config, sizeof(config), "b=%zu", buckets);
+    table.AddRow({"generic(Alg2)", config, TablePrinter::FormatBytes(space),
+                  TablePrinter::FormatDouble(s.median_rel_error, 4),
+                  TablePrinter::FormatDouble(s.p90_rel_error, 4)});
+  }
+  table.Print("E5a: g_np-SUM, bespoke modular sketch vs generic Algorithm 2");
+}
+
+void RecoveryTable() {
+  TablePrinter table({"substreams", "planted_items", "recovered", "wrong"});
+  Rng rng(0xE55);
+  for (const size_t substreams : {16u, 64u, 256u}) {
+    int recovered = 0, wrong = 0;
+    const int planted = 24;
+    for (int t = 0; t < 20; ++t) {
+      GnpSketchOptions options;
+      options.substreams = substreams;
+      options.trials = 32;
+      options.id_bits = 14;
+      GnpHeavyHitter hh(options, rng);
+      FrequencyMap freq;
+      Rng item_rng = rng.Fork();
+      while (freq.size() < static_cast<size_t>(planted)) {
+        const ItemId id = item_rng.UniformUint64(1 << 14);
+        if (freq.contains(id)) continue;  // ids must be distinct
+        const int64_t v = item_rng.UniformInt(1, 4096);
+        freq[id] = v;
+        hh.Update(id, v);
+      }
+      for (const GCoverEntry& e : hh.Cover(*MakeGnp())) {
+        const auto it = freq.find(e.item);
+        if (it != freq.end() &&
+            e.g_value == MakeGnp()->ValueAbs(it->second)) {
+          ++recovered;
+        } else {
+          ++wrong;
+        }
+      }
+    }
+    table.AddRow({TablePrinter::FormatInt(static_cast<long long>(substreams)),
+                  TablePrinter::FormatInt(20 * planted),
+                  TablePrinter::FormatInt(recovered),
+                  TablePrinter::FormatInt(wrong)});
+  }
+  table.Print(
+      "E5b: bespoke sketch identity recovery (wrong must stay 0: failures "
+      "are detected, never fabricated)");
+}
+
+}  // namespace
+}  // namespace gstream
+
+int main() {
+  gstream::SumAccuracyTable();
+  gstream::RecoveryTable();
+  std::printf(
+      "\nExpected shape: bespoke errors shrink with C and beat the generic "
+      "route by a wide margin;\nrecovery improves with substream count; "
+      "the wrong column is all zeros.\n");
+  return 0;
+}

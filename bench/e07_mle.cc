@@ -1,0 +1,96 @@
+// Experiment E7 (DESIGN.md): the log-likelihood application (paper
+// §1.1.1).
+//
+// Coordinates of the frequency vector are i.i.d. samples from a
+// two-component Poisson mixture; the negative log-likelihood is a
+// non-monotone g-SUM.  One shared sketch is decoded under every hypothesis
+// in a discrete 25-point family over the heavy mode beta, and the argmin
+// is the approximate MLE.  Reported: per-hypothesis score error, whether
+// the argmin matches the exact MLE, and the sketch-to-stream space ratio.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/mle.h"
+#include "stream/generators.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace gstream {
+namespace {
+
+void RunExperiment() {
+  const size_t n = 20000;
+  const double true_beta = 8.0;
+
+  // Sample stream from the true mixture.
+  std::vector<double> pmf;
+  for (int64_t x = 0; x < 64; ++x) {
+    pmf.push_back(std::exp(PoissonMixtureLogPmf(0.95, 0.5, true_beta, x)));
+  }
+  Rng rng(0xE07);
+  const Workload w = MakeIidSampleWorkload(n, n, pmf, StreamShapeOptions{},
+                                           rng);
+  const size_t stream_bytes = w.stream.length() * sizeof(Update);
+
+  // 25 hypotheses over beta.
+  std::vector<MleCandidate> family;
+  std::vector<double> betas;
+  for (int i = 0; i < 25; ++i) {
+    const double beta = 2.0 + 0.5 * i;
+    betas.push_back(beta);
+    family.push_back(MakePoissonMixtureCandidate(0.95, 0.5, beta, n));
+  }
+  const std::vector<double> exact = ExactMleScores(family, w.stream);
+  size_t exact_best = 0;
+  for (size_t i = 1; i < exact.size(); ++i) {
+    if (exact[i] < exact[exact_best]) exact_best = i;
+  }
+
+  TablePrinter table({"passes", "buckets", "space", "space/stream",
+                      "argmin_beta", "matches_exact", "max_score_err"});
+  for (const int passes : {1, 2}) {
+    for (const size_t buckets : {512u, 2048u}) {
+      GSumOptions options;
+      options.passes = passes;
+      options.cs_buckets = buckets;
+      options.candidates = 64;
+      options.repetitions = 5;
+      options.ams = {8, 5};
+      options.seed = 0x717 + static_cast<uint64_t>(buckets);
+      const MleResult result = ApproximateMle(family, w.stream, n, options);
+      double max_err = 0.0;
+      for (size_t i = 0; i < exact.size(); ++i) {
+        max_err = std::max(max_err,
+                           RelativeError(result.scores[i], exact[i]));
+      }
+      table.AddRow(
+          {passes == 1 ? "1" : "2",
+           TablePrinter::FormatInt(static_cast<long long>(buckets)),
+           TablePrinter::FormatBytes(result.space_bytes),
+           TablePrinter::FormatDouble(
+               static_cast<double>(result.space_bytes) / stream_bytes, 3),
+           TablePrinter::FormatDouble(betas[result.best_index], 1),
+           result.best_index == exact_best ? "yes" : "no",
+           TablePrinter::FormatDouble(max_err, 4)});
+    }
+  }
+  table.Print(
+      "E7: streaming approximate MLE over 25 Poisson-mixture hypotheses "
+      "(true beta = 8.0, one shared sketch decoded 25 times)");
+  std::printf(
+      "\nExact MLE over the family: beta = %.1f (index %zu).\n"
+      "Expected shape: the approximate argmin matches (or lands adjacent "
+      "to) the exact MLE; score errors\nstay within a few percent at the "
+      "larger budget.\n",
+      betas[exact_best], exact_best);
+}
+
+}  // namespace
+}  // namespace gstream
+
+int main() {
+  gstream::RunExperiment();
+  return 0;
+}

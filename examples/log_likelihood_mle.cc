@@ -1,0 +1,69 @@
+// Log-likelihood estimation over a stream (paper §1.1.1).
+//
+// The coordinates of the frequency vector are i.i.d. samples from an
+// unknown two-component Poisson mixture (e.g. per-user event counts where
+// most users are quiet and a sub-population is busy).  The negative
+// log-likelihood -sum_i log p(v_i; theta) is a *non-monotone* g-SUM; the
+// paper's machinery sketches it, and -- because the linear sketch does not
+// depend on g -- ONE pass over the data supports scoring every hypothesis
+// theta in a discrete family afterwards.  The argmin is the approximate
+// MLE with the guarantee l(theta-hat) <= (1+eps) l(theta*).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/mle.h"
+#include "stream/generators.h"
+
+int main() {
+  using namespace gstream;
+
+  const size_t num_users = 30000;
+  const double true_lambda = 0.95, true_alpha = 0.5, true_beta = 9.0;
+
+  // Stream of per-user event counts drawn from the true mixture.
+  std::vector<double> pmf;
+  for (int64_t x = 0; x < 64; ++x) {
+    pmf.push_back(
+        std::exp(PoissonMixtureLogPmf(true_lambda, true_alpha, true_beta,
+                                      x)));
+  }
+  Rng rng(2026);
+  const Workload events = MakeIidSampleWorkload(
+      num_users, num_users, pmf, StreamShapeOptions{}, rng);
+
+  // Hypothesis grid over the busy-population rate beta.
+  std::vector<MleCandidate> family;
+  std::vector<double> betas;
+  for (double beta = 4.0; beta <= 14.0; beta += 0.5) {
+    betas.push_back(beta);
+    family.push_back(MakePoissonMixtureCandidate(true_lambda, true_alpha,
+                                                 beta, num_users));
+  }
+
+  GSumOptions options;
+  options.passes = 2;  // exact candidate tabulation -> sharp scores
+  options.cs_buckets = 1024;
+  options.candidates = 64;
+  options.repetitions = 5;
+  const MleResult result =
+      ApproximateMle(family, events.stream, num_users, options);
+
+  const std::vector<double> exact = ExactMleScores(family, events.stream);
+  size_t exact_best = 0;
+  for (size_t i = 1; i < exact.size(); ++i) {
+    if (exact[i] < exact[exact_best]) exact_best = i;
+  }
+
+  std::printf("users                 : %zu\n", num_users);
+  std::printf("hypotheses scored     : %zu (one shared sketch)\n",
+              family.size());
+  std::printf("sketch bytes          : %zu\n", result.space_bytes);
+  std::printf("true beta             : %.1f\n", true_beta);
+  std::printf("exact-MLE beta        : %.1f\n", betas[exact_best]);
+  std::printf("streaming-MLE beta    : %.1f\n", betas[result.best_index]);
+  std::printf("streaming NLL at best : %.1f (exact %.1f)\n",
+              result.scores[result.best_index], exact[exact_best]);
+  return 0;
+}

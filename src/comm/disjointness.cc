@@ -1,0 +1,74 @@
+#include "comm/disjointness.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gstream {
+
+DisjInstance MakeDisjInstance(uint64_t n, size_t players, double density,
+                              Rng& rng) {
+  GSTREAM_CHECK_GE(n, 2u);
+  GSTREAM_CHECK_GE(players, 1u);
+  GSTREAM_CHECK(density > 0.0 && density <= 1.0);
+  DisjInstance instance;
+  instance.sets.resize(players);
+  instance.common = rng.UniformUint64(n);
+  instance.intersecting = rng.Bernoulli(0.5);
+  for (ItemId i = 0; i < n; ++i) {
+    if (i == instance.common) continue;
+    if (!rng.Bernoulli(density)) continue;
+    // The disjointness promise: each ordinary element joins one player.
+    instance.sets[rng.UniformUint64(players)].push_back(i);
+  }
+  if (instance.intersecting) {
+    for (auto& set : instance.sets) set.push_back(instance.common);
+  }
+  return instance;
+}
+
+Stream BuildDisjPlusIndStream(const DisjInstance& instance,
+                              const DisjPlusIndShape& shape) {
+  ItemId max_item = instance.common;
+  for (const auto& set : instance.sets) {
+    for (const ItemId i : set) max_item = std::max(max_item, i);
+  }
+  Stream stream(max_item + 1);
+  for (const auto& set : instance.sets) {
+    for (const ItemId i : set) {
+      stream.Append(i, shape.per_player_frequency);
+    }
+  }
+  stream.Append(instance.common, shape.index_frequency);
+  return stream;
+}
+
+DisjOutcomes DisjPlusIndOutcomes(const GFunction& g, size_t total_elements,
+                                 size_t players,
+                                 const DisjPlusIndShape& shape) {
+  const double gx = g.ValueAbs(shape.per_player_frequency);
+  const double gr = g.ValueAbs(shape.index_frequency);
+  const int64_t y =
+      static_cast<int64_t>(players) * shape.per_player_frequency +
+      shape.index_frequency;
+  const double gy = g.ValueAbs(y);
+  const double np = static_cast<double>(total_elements);
+  DisjOutcomes o;
+  o.value_if_disjoint = np * gx + gr;
+  o.value_if_intersecting =
+      (np - static_cast<double>(players)) * gx + gy;
+  const double hi = std::max(std::fabs(o.value_if_disjoint),
+                             std::fabs(o.value_if_intersecting));
+  o.relative_gap =
+      (hi == 0.0)
+          ? 0.0
+          : std::fabs(o.value_if_disjoint - o.value_if_intersecting) / hi;
+  return o;
+}
+
+bool DecideDisjIntersecting(double estimate, const DisjOutcomes& o) {
+  return std::fabs(estimate - o.value_if_intersecting) <
+         std::fabs(estimate - o.value_if_disjoint);
+}
+
+}  // namespace gstream

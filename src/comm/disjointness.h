@@ -1,0 +1,68 @@
+// Multiparty set disjointness DISJ(n, t) and DISJ+IND(n, t), and the
+// paper's reductions from them (Lemma 24 for non-slow-jumping functions;
+// Lemmas 27/28 give the multi-pass variants with the same stream shapes).
+//
+// DISJ(n, t): t players hold subsets of [n], promised pairwise disjoint or
+// sharing exactly one common element; communication Omega(n/t).
+// DISJ+IND(n, t): additionally a (t+1)-st player holds a singleton {b};
+// one-way communication Omega(n / t log n) (paper Theorem 44).
+//
+// Lemma 24's reduction (g not slow-jumping, e.g. g = x^3): each of the
+// first t players streams x copies of each of their elements; the index
+// player streams r = y - t*x copies of b.  If the instance intersects, b's
+// frequency is y and g(y) dominates; if disjoint it is r and the total
+// stays near n' g(x).
+
+#ifndef GSTREAM_COMM_DISJOINTNESS_H_
+#define GSTREAM_COMM_DISJOINTNESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gfunc/gfunction.h"
+#include "stream/stream.h"
+#include "util/random.h"
+
+namespace gstream {
+
+struct DisjInstance {
+  std::vector<std::vector<ItemId>> sets;  // one per player
+  bool intersecting = false;
+  ItemId common = 0;  // the shared element when intersecting
+};
+
+// A random DISJ(n, t) instance: each element is assigned to at most one
+// player uniformly (keeping the disjointness promise), plus a common
+// element planted in every set with probability 1/2.
+DisjInstance MakeDisjInstance(uint64_t n, size_t players, double density,
+                              Rng& rng);
+
+struct DisjPlusIndShape {
+  int64_t per_player_frequency = 0;  // x
+  int64_t index_frequency = 0;       // r = y - t * x
+};
+
+// Builds the Lemma 24 reduction stream: players stream x copies of each of
+// their elements (the common element accumulates t*x), then the index
+// player appends r copies of the common candidate `b` = instance.common.
+Stream BuildDisjPlusIndStream(const DisjInstance& instance,
+                              const DisjPlusIndShape& shape);
+
+// The two exact outcomes for total set size n' = sum |A_i|:
+//   intersecting: (n' - t) g(x) + g(t x + r)
+//   disjoint:      n' g(x) + g(r)
+struct DisjOutcomes {
+  double value_if_disjoint = 0.0;
+  double value_if_intersecting = 0.0;
+  double relative_gap = 0.0;
+};
+
+DisjOutcomes DisjPlusIndOutcomes(const GFunction& g, size_t total_elements,
+                                 size_t players,
+                                 const DisjPlusIndShape& shape);
+
+bool DecideDisjIntersecting(double estimate, const DisjOutcomes& o);
+
+}  // namespace gstream
+
+#endif  // GSTREAM_COMM_DISJOINTNESS_H_

@@ -1,0 +1,30 @@
+#include "comm/dist_problem.h"
+
+#include "util/logging.h"
+
+namespace gstream {
+
+DistInstance MakeDistInstance(const DistInstanceParams& params,
+                              bool plant_target, Rng& rng) {
+  GSTREAM_CHECK(!params.allowed.empty());
+  GSTREAM_CHECK_GT(params.target, 0);
+  GSTREAM_CHECK(params.density > 0.0 && params.density <= 1.0);
+  DistInstance instance{Stream(params.n), plant_target};
+  const ItemId planted =
+      plant_target ? rng.UniformUint64(params.n) : ItemId{0};
+  for (ItemId i = 0; i < params.n; ++i) {
+    if (plant_target && i == planted) {
+      const int64_t sign = rng.Bernoulli(0.5) ? 1 : -1;
+      instance.stream.Append(i, sign * params.target);
+      continue;
+    }
+    if (!rng.Bernoulli(params.density)) continue;
+    const int64_t magnitude = params.allowed[static_cast<size_t>(
+        rng.UniformUint64(params.allowed.size()))];
+    const int64_t sign = rng.Bernoulli(0.5) ? 1 : -1;
+    instance.stream.Append(i, sign * magnitude);
+  }
+  return instance;
+}
+
+}  // namespace gstream

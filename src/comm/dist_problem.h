@@ -1,0 +1,43 @@
+// Instance generator for the ShortLinearCombination problem
+// (u, d)-DIST of Definitions 45 and 50.
+//
+// The frequency vector is promised to lie in
+//   V0 = {u_1, ..., u_r, 0}^n (signs free), or
+//   V1 = V0 with one coordinate replaced by +-d.
+// Theorem 51: distinguishing requires Omega(n / q^2) bits, q the minimal
+// L1-norm combination of u equal to d; Proposition 49 gives the matching
+// upper bound implemented in core/dist_algorithm.h.  Experiment E6 sweeps
+// the number of counters against q.
+
+#ifndef GSTREAM_COMM_DIST_PROBLEM_H_
+#define GSTREAM_COMM_DIST_PROBLEM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/stream.h"
+#include "util/random.h"
+
+namespace gstream {
+
+struct DistInstance {
+  Stream stream;
+  bool has_target = false;  // ground truth: v in V1
+};
+
+struct DistInstanceParams {
+  uint64_t n = 1 << 12;  // universe size
+  // Fraction of coordinates holding a nonzero frequency from u.
+  double density = 0.5;
+  std::vector<int64_t> allowed;  // u (positive values; signs drawn randomly)
+  int64_t target = 0;            // d
+};
+
+// Draws an instance; `plant_target` selects V1 (one uniformly chosen
+// coordinate is replaced by +-d).
+DistInstance MakeDistInstance(const DistInstanceParams& params,
+                              bool plant_target, Rng& rng);
+
+}  // namespace gstream
+
+#endif  // GSTREAM_COMM_DIST_PROBLEM_H_

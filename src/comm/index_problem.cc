@@ -1,0 +1,69 @@
+#include "comm/index_problem.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gstream {
+
+IndexInstance MakeIndexInstance(uint64_t n, Rng& rng) {
+  GSTREAM_CHECK_GE(n, 2u);
+  IndexInstance instance;
+  for (ItemId i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.5)) instance.alice_set.push_back(i);
+  }
+  // Keep both answer classes realizable.
+  if (instance.alice_set.empty()) instance.alice_set.push_back(0);
+  if (instance.alice_set.size() == n) instance.alice_set.pop_back();
+
+  instance.intersecting = rng.Bernoulli(0.5);
+  if (instance.intersecting) {
+    instance.bob_index = instance.alice_set[static_cast<size_t>(
+        rng.UniformUint64(instance.alice_set.size()))];
+  } else {
+    // Rejection-sample an element outside A.
+    std::vector<bool> in_a(n, false);
+    for (const ItemId i : instance.alice_set) in_a[i] = true;
+    do {
+      instance.bob_index = rng.UniformUint64(n);
+    } while (in_a[instance.bob_index]);
+  }
+  return instance;
+}
+
+Stream BuildIndexReductionStream(const IndexInstance& instance,
+                                 const IndexReductionShape& shape) {
+  ItemId max_item = instance.bob_index;
+  for (const ItemId i : instance.alice_set) max_item = std::max(max_item, i);
+  Stream stream(max_item + 1);
+  for (const ItemId i : instance.alice_set) {
+    stream.Append(i, shape.alice_frequency);
+  }
+  stream.Append(instance.bob_index, shape.bob_frequency);
+  return stream;
+}
+
+DistinguishingOutcomes IndexReductionOutcomes(
+    const GFunction& g, size_t alice_size, const IndexReductionShape& shape) {
+  const double ga = g.ValueAbs(shape.alice_frequency);
+  const double gb = g.ValueAbs(shape.bob_frequency);
+  const double gab = g.ValueAbs(shape.alice_frequency + shape.bob_frequency);
+  DistinguishingOutcomes o;
+  const double a = static_cast<double>(alice_size);
+  o.value_if_disjoint = a * ga + gb;
+  o.value_if_intersecting = (a - 1.0) * ga + gab;
+  const double hi =
+      std::max(std::fabs(o.value_if_disjoint), std::fabs(o.value_if_intersecting));
+  o.relative_gap =
+      (hi == 0.0)
+          ? 0.0
+          : std::fabs(o.value_if_disjoint - o.value_if_intersecting) / hi;
+  return o;
+}
+
+bool DecideIntersecting(double estimate, const DistinguishingOutcomes& o) {
+  return std::fabs(estimate - o.value_if_intersecting) <
+         std::fabs(estimate - o.value_if_disjoint);
+}
+
+}  // namespace gstream

@@ -1,0 +1,74 @@
+// The INDEX communication problem and the paper's one-pass lower-bound
+// reductions built on it (Lemmas 23 and 25).
+//
+// INDEX(n): Alice holds A subset [n], Bob holds b in [n]; after one message
+// from Alice, Bob must decide whether b in A.  Any streaming algorithm
+// yields a one-way protocol: Alice streams her part, sends the sketch
+// state, Bob streams his part and decodes.  Since INDEX needs Omega(n)
+// bits, a streaming algorithm that decides the reduction instances reliably
+// must use Omega(n) space -- experiment E3 measures exactly this success
+// probability as a function of sketch size.
+//
+// Lemma 23 (not slow-dropping, e.g. g = 1/x): Alice gives frequency
+// `alice_frequency` = y to each element of A, Bob adds `bob_frequency` = x
+// with g(x) >> g(y); the two possible g-SUM outcomes differ by roughly
+// g(x), a constant fraction of the total.
+//
+// Lemma 25 (not predictable, e.g. g = (2+sin sqrt(x)) x^2): Alice gives y_k
+// copies to each element, Bob adds x_k >> y_k copies; the outcomes differ
+// because g(x_k + y_k) is far from g(x_k) while |A| g(y_k) is negligible.
+
+#ifndef GSTREAM_COMM_INDEX_PROBLEM_H_
+#define GSTREAM_COMM_INDEX_PROBLEM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gfunc/gfunction.h"
+#include "stream/stream.h"
+#include "util/random.h"
+
+namespace gstream {
+
+struct IndexInstance {
+  std::vector<ItemId> alice_set;
+  ItemId bob_index = 0;
+  bool intersecting = false;  // ground truth: bob_index in alice_set
+};
+
+// A random instance over universe [n]: each element joins A independently
+// with probability 1/2 and Bob's index intersects with probability 1/2
+// (so both answers are equally likely a priori).
+IndexInstance MakeIndexInstance(uint64_t n, Rng& rng);
+
+// Frequencies the reduction assigns.
+struct IndexReductionShape {
+  int64_t alice_frequency = 0;  // per element of A
+  int64_t bob_frequency = 0;    // added to b
+};
+
+// Builds the reduction stream (Alice's updates first, then Bob's -- the
+// one-way protocol order) over domain [n].
+Stream BuildIndexReductionStream(const IndexInstance& instance,
+                                 const IndexReductionShape& shape);
+
+// The two exact g-SUM outcomes Bob distinguishes between, given |A| (which
+// Alice sends along with the sketch, as in the lemmas).
+struct DistinguishingOutcomes {
+  double value_if_disjoint = 0.0;
+  double value_if_intersecting = 0.0;
+  // |difference| / max -- how large a relative gap the algorithm must
+  // resolve.  The lower-bound lemmas engineer this to be Omega(1).
+  double relative_gap = 0.0;
+};
+
+DistinguishingOutcomes IndexReductionOutcomes(
+    const GFunction& g, size_t alice_size, const IndexReductionShape& shape);
+
+// Nearest-outcome decision rule: returns true (intersecting) iff `estimate`
+// is closer to value_if_intersecting.
+bool DecideIntersecting(double estimate, const DistinguishingOutcomes& o);
+
+}  // namespace gstream
+
+#endif  // GSTREAM_COMM_INDEX_PROBLEM_H_

@@ -1,0 +1,80 @@
+#include "comm/multipass.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace gstream {
+
+TwoPartyDisjInstance MakeTwoPartyDisjInstance(uint64_t n, Rng& rng) {
+  return MakeTwoPartyDisjInstance(n, rng.Bernoulli(0.5), rng);
+}
+
+TwoPartyDisjInstance MakeTwoPartyDisjInstance(uint64_t n, bool intersecting,
+                                              Rng& rng) {
+  GSTREAM_CHECK_GE(n, 4u);
+  TwoPartyDisjInstance instance;
+  instance.common = rng.UniformUint64(n);
+  instance.intersecting = intersecting;
+  for (ItemId i = 0; i < n; ++i) {
+    if (i == instance.common) continue;
+    // The promise: ordinary elements belong to at most one player.
+    const uint64_t owner = rng.UniformUint64(3);
+    if (owner == 0) instance.set1.push_back(i);
+    if (owner == 1) instance.set2.push_back(i);
+  }
+  if (instance.intersecting) {
+    instance.set1.push_back(instance.common);
+    instance.set2.push_back(instance.common);
+  }
+  return instance;
+}
+
+Stream BuildLemma27Stream(const TwoPartyDisjInstance& instance, uint64_t n,
+                          const Lemma27Shape& shape) {
+  Stream stream(n);
+  for (const ItemId i : instance.set1) {
+    stream.Append(i, shape.x_frequency);
+  }
+  std::unordered_set<ItemId> in_s2(instance.set2.begin(),
+                                   instance.set2.end());
+  for (ItemId i = 0; i < n; ++i) {
+    if (!in_s2.contains(i)) stream.Append(i, shape.y_frequency);
+  }
+  return stream;
+}
+
+Lemma27Outcomes ComputeLemma27Outcomes(const GFunction& g,
+                                       const TwoPartyDisjInstance& instance,
+                                       uint64_t n,
+                                       const Lemma27Shape& shape) {
+  const double gx = g.ValueAbs(shape.x_frequency);
+  const double gy = g.ValueAbs(shape.y_frequency);
+  const double gxy = g.ValueAbs(shape.x_frequency + shape.y_frequency);
+  const double s1 = static_cast<double>(instance.set1.size());
+  const double s2 = static_cast<double>(instance.set2.size());
+  const double nn = static_cast<double>(n);
+  Lemma27Outcomes o;
+  // Disjoint: every S1 element is outside S2, so all of S1 sits at x + y;
+  // untouched-by-both elements sit at y.
+  o.value_if_disjoint = s1 * gxy + (nn - s1 - s2) * gy;
+  // Intersecting: the common element is in S2, so it stays at frequency x;
+  // one more element (the common one) is excluded from the "neither" set.
+  // With |S1| counted including the common element:
+  o.value_if_intersecting = (s1 - 1.0) * gxy + gx + (nn - s1 - s2 + 1.0) * gy;
+  const double hi = std::max(std::fabs(o.value_if_disjoint),
+                             std::fabs(o.value_if_intersecting));
+  o.relative_gap =
+      (hi == 0.0)
+          ? 0.0
+          : std::fabs(o.value_if_disjoint - o.value_if_intersecting) / hi;
+  return o;
+}
+
+bool DecideLemma27Intersecting(double estimate, const Lemma27Outcomes& o) {
+  return std::fabs(estimate - o.value_if_intersecting) <
+         std::fabs(estimate - o.value_if_disjoint);
+}
+
+}  // namespace gstream

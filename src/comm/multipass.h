@@ -1,0 +1,73 @@
+// Multi-pass lower-bound harness: Lemma 27 of the paper.
+//
+// Theorem 3's negative side holds for any constant number of passes: a
+// P-normal function that is not slow-dropping defeats even multi-pass
+// algorithms, via two-player DISJ(n, 2) (communication Omega(n) split
+// across 2p crossings).  The reduction streams:
+//
+//   drop case (g(x+y) <= g(x)):  Player 1 inserts x copies of each element
+//   of S1; Player 2 inserts y copies of each element NOT in S2.  An
+//   intersection turns exactly one frequency-x item into ... frequency x
+//   (it stays x: the intersecting element is in S2, so Player 2 does not
+//   touch it), while disjointness lifts every S1 element to x + y.
+//
+// The streaming algorithm plays both players: it scans the concatenated
+// stream once per pass (the sketch state is the message).  Success beyond
+// 2/3 at space s across instances of size n would give an O(p s)-bit DISJ
+// protocol.
+
+#ifndef GSTREAM_COMM_MULTIPASS_H_
+#define GSTREAM_COMM_MULTIPASS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gfunc/gfunction.h"
+#include "stream/stream.h"
+#include "util/random.h"
+
+namespace gstream {
+
+// A two-player DISJ(n, 2) instance with the standard promise (disjoint or
+// exactly one common element).
+struct TwoPartyDisjInstance {
+  std::vector<ItemId> set1;
+  std::vector<ItemId> set2;
+  bool intersecting = false;
+  ItemId common = 0;
+};
+
+TwoPartyDisjInstance MakeTwoPartyDisjInstance(uint64_t n, Rng& rng);
+
+// Variant with a forced answer class, for exactly balanced experiments.
+TwoPartyDisjInstance MakeTwoPartyDisjInstance(uint64_t n, bool intersecting,
+                                              Rng& rng);
+
+struct Lemma27Shape {
+  int64_t x_frequency = 0;  // Player 1's per-element frequency
+  int64_t y_frequency = 0;  // Player 2's per-complement-element frequency
+};
+
+// Builds the Lemma 27 stream over domain [n]: x copies of each element of
+// set1, then y copies of every element of [n] \ set2.
+Stream BuildLemma27Stream(const TwoPartyDisjInstance& instance, uint64_t n,
+                          const Lemma27Shape& shape);
+
+// The two exact outcomes, given |S1| and the count of elements outside
+// both sets (see the lemma's r1 / r2 bookkeeping).
+struct Lemma27Outcomes {
+  double value_if_disjoint = 0.0;
+  double value_if_intersecting = 0.0;
+  double relative_gap = 0.0;
+};
+
+Lemma27Outcomes ComputeLemma27Outcomes(const GFunction& g,
+                                       const TwoPartyDisjInstance& instance,
+                                       uint64_t n,
+                                       const Lemma27Shape& shape);
+
+bool DecideLemma27Intersecting(double estimate, const Lemma27Outcomes& o);
+
+}  // namespace gstream
+
+#endif  // GSTREAM_COMM_MULTIPASS_H_

@@ -1,0 +1,118 @@
+#include "core/gnp_sketch.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/bit.h"
+#include "util/logging.h"
+
+namespace gstream {
+namespace {
+
+// i_m: index of the lowest set bit of |m|; two's complement makes ctz on
+// the raw bits correct for negative m as well.  -1 for m == 0.
+int LowBitOrMinus1(int64_t m) {
+  if (m == 0) return -1;
+  return LowestSetBit(static_cast<uint64_t>(m));
+}
+
+}  // namespace
+
+GnpHeavyHitter::GnpHeavyHitter(const GnpSketchOptions& options, Rng& rng)
+    : options_(options),
+      substream_hash_(/*k=*/2, options.substreams, rng) {
+  GSTREAM_CHECK_GE(options.substreams, 1u);
+  GSTREAM_CHECK_GE(options.trials, 2u);
+  GSTREAM_CHECK_GE(options.id_bits, 1);
+  GSTREAM_CHECK_LE(options.id_bits, 62);
+  trial_hashes_.reserve(options.trials);
+  for (size_t t = 0; t < options.trials; ++t) trial_hashes_.emplace_back(rng);
+  counters_.assign(options.substreams * options.trials *
+                       (static_cast<size_t>(options.id_bits) + 1),
+                   0);
+}
+
+size_t GnpHeavyHitter::SlotIndex(size_t substream, size_t trial,
+                                 int slot) const {
+  const size_t slots = static_cast<size_t>(options_.id_bits) + 1;
+  return (substream * options_.trials + trial) * slots +
+         static_cast<size_t>(slot);
+}
+
+void GnpHeavyHitter::Update(ItemId item, int64_t delta) {
+  const size_t s = substream_hash_(item);
+  for (size_t t = 0; t < options_.trials; ++t) {
+    if (!trial_hashes_[t](item)) continue;
+    counters_[SlotIndex(s, t, 0)] += delta;
+    for (int b = 0; b < options_.id_bits; ++b) {
+      if ((item >> b) & 1u) counters_[SlotIndex(s, t, b + 1)] += delta;
+    }
+  }
+}
+
+void GnpHeavyHitter::AdvancePass() { GSTREAM_CHECK(false); }
+
+GCover GnpHeavyHitter::Cover(const GFunction& /*g*/) const {
+  GCover cover;
+  for (size_t s = 0; s < options_.substreams; ++s) {
+    // Y = max_t 2^{-i_m}: realized as the minimal i_m over nonempty trials.
+    int best_i = -1;
+    for (size_t t = 0; t < options_.trials; ++t) {
+      const int i = LowBitOrMinus1(counters_[SlotIndex(s, t, 0)]);
+      if (i >= 0 && (best_i < 0 || i < best_i)) best_i = i;
+    }
+    if (best_i < 0) continue;  // empty substream
+
+    // M = trials attaining Y; require roughly half of them to, as a unique
+    // minimal item sampled with pairwise probability 1/2 would produce.
+    std::vector<size_t> in_m;
+    for (size_t t = 0; t < options_.trials; ++t) {
+      if (LowBitOrMinus1(counters_[SlotIndex(s, t, 0)]) == best_i) {
+        in_m.push_back(t);
+      }
+    }
+    const double share = static_cast<double>(in_m.size()) /
+                         static_cast<double>(options_.trials);
+    if (share < options_.min_share || share > options_.max_share) continue;
+
+    // Recover the id bit-by-bit by majority over the trials in M.
+    ItemId candidate = 0;
+    for (int b = 0; b < options_.id_bits; ++b) {
+      size_t votes = 0;
+      for (const size_t t : in_m) {
+        if (LowBitOrMinus1(counters_[SlotIndex(s, t, b + 1)]) == best_i) {
+          ++votes;
+        }
+      }
+      if (2 * votes > in_m.size()) candidate |= (ItemId{1} << b);
+    }
+
+    // Consistency: the candidate must be sampled in exactly the trials of M
+    // and hash to this substream; otherwise the substream held no unique
+    // minimal item and we report nothing (a detected failure, not a wrong
+    // answer).
+    if (substream_hash_(candidate) != s) continue;
+    bool consistent = true;
+    for (size_t t = 0; t < options_.trials && consistent; ++t) {
+      const bool sampled = trial_hashes_[t](candidate);
+      const bool in_m_t =
+          LowBitOrMinus1(counters_[SlotIndex(s, t, 0)]) == best_i;
+      if (sampled != in_m_t) consistent = false;
+    }
+    if (!consistent) continue;
+
+    cover.push_back(GCoverEntry{candidate, 0,
+                                std::exp2(-static_cast<double>(best_i)),
+                                /*has_frequency=*/false});
+  }
+  return cover;
+}
+
+size_t GnpHeavyHitter::SpaceBytes() const {
+  size_t bytes = counters_.size() * sizeof(int64_t);
+  bytes += substream_hash_.SpaceBytes();
+  for (const BernoulliHash& h : trial_hashes_) bytes += h.SpaceBytes();
+  return bytes;
+}
+
+}  // namespace gstream

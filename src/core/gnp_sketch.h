@@ -1,0 +1,78 @@
+// The bespoke 1-pass heavy-hitter sketch for the nearly periodic function
+// g_np(x) = 2^{-i_x} (paper Proposition 54, Appendix D.1).
+//
+// g_np is *not* slow-dropping, so the generic CountSketch route of
+// Algorithm 2 cannot certify its heavy hitters -- yet it is 1-pass
+// tractable through modular structure:
+//
+//  * The stream is hashed into C = O(lambda^-2) substreams, separating (with
+//    constant probability) the <= 2/lambda items whose g_np value ties or
+//    exceeds the heavy hitter's.
+//  * Each substream runs D = O(log n) independent trials; trial t keeps the
+//    pairwise-random signed-bit sums
+//        m      = sum_{j sampled} v_j
+//        m_b    = sum_{j sampled, bit b of id j set} v_j
+//    If the substream holds a unique item j* of minimal i_{v_j}, then in
+//    every trial sampling j* the lowest set bit of m is exactly i_{v_j*}
+//    (everything else contributes multiples of 2^{i+1}), so
+//    Y = max_t 2^{-i_m} recovers g_np(v_j*), roughly D/2 trials attain Y,
+//    and bit b of j* is set iff i_{m_b} == i_m in those trials -- the
+//    "binary search in post-processing" of the proposition.
+//  * Decodes failing the |M| ~ D/2 share test or the consistency check
+//    X_t(j*) == [t in M] are rejected rather than mis-reported.
+//
+// GnpHeavyHitter implements GHeavyHitterSketch so it can be plugged
+// directly into the recursive sketch (Theorem 13), giving a complete
+// 1-pass g_np-SUM algorithm.  Cover() ignores the passed function and
+// reports g_np values (has_frequency = false); it is only meaningful for
+// g = g_np.
+
+#ifndef GSTREAM_CORE_GNP_SKETCH_H_
+#define GSTREAM_CORE_GNP_SKETCH_H_
+
+#include <vector>
+
+#include "core/heavy_hitters.h"
+#include "util/hash.h"
+
+namespace gstream {
+
+struct GnpSketchOptions {
+  // C: number of substreams (O(lambda^-2)).
+  size_t substreams = 64;
+  // D: trials per substream (O(log n)).
+  size_t trials = 24;
+  // Bits of item ids to recover (ceil(log2 domain)).
+  int id_bits = 20;
+  // Acceptance band for |M| / D (the fraction of trials attaining Y).
+  double min_share = 0.2;
+  double max_share = 0.8;
+};
+
+class GnpHeavyHitter : public GHeavyHitterSketch {
+ public:
+  GnpHeavyHitter(const GnpSketchOptions& options, Rng& rng);
+
+  int passes() const override { return 1; }
+  void Update(ItemId item, int64_t delta) override;
+  void AdvancePass() override;
+
+  // Cover entries carry g_np(|v_j|) in g_value (has_frequency = false).
+  GCover Cover(const GFunction& g) const override;
+
+  size_t SpaceBytes() const override;
+
+ private:
+  // Counter layout: per substream s, per trial t, slot 0 is m and slots
+  // 1..id_bits are the per-bit sums m_b.
+  size_t SlotIndex(size_t substream, size_t trial, int slot) const;
+
+  GnpSketchOptions options_;
+  BucketHash substream_hash_;            // 2-wise
+  std::vector<BernoulliHash> trial_hashes_;  // pairwise, shared across substreams
+  std::vector<int64_t> counters_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_CORE_GNP_SKETCH_H_

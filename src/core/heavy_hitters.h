@@ -1,0 +1,93 @@
+// Heavy-hitter covers and the sketch interface shared by the paper's
+// Algorithms 1 and 2, the g_np sketch, and the recursive sketch that
+// consumes them.
+//
+// Definition 12: a (g, lambda, eps)-cover is a set of (item, weight) pairs
+// that (1) contains every (g, lambda)-heavy hitter and (2) reports each
+// weight within (1 +- eps) of g(|v_i|).  Our cover entries additionally
+// carry the frequency estimate when the algorithm has one, so a single
+// sketch can be decoded under many different g (the paper's observation in
+// §1.1.1 that the sketch form is independent of g).
+
+#ifndef GSTREAM_CORE_HEAVY_HITTERS_H_
+#define GSTREAM_CORE_HEAVY_HITTERS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gfunc/gfunction.h"
+#include "sketch/linear_sketch.h"
+#include "stream/stream.h"
+#include "util/random.h"
+
+namespace gstream {
+
+struct GCoverEntry {
+  ItemId item = 0;
+  // Frequency estimate (exact for the two-pass algorithm).  Meaningful only
+  // when has_frequency is true; the g_np sketch recovers g-values directly.
+  int64_t frequency = 0;
+  // Approximation of g(|v_item|).
+  double g_value = 0.0;
+  bool has_frequency = true;
+};
+
+using GCover = std::vector<GCoverEntry>;
+
+// A (g, lambda, eps, delta)-heavy-hitter streaming algorithm.  The driver
+// feeds every update of the (sub)stream through Update() once per pass
+// (inherited from LinearSketch), calling AdvancePass() between passes,
+// then reads Cover().
+class GHeavyHitterSketch : public LinearSketch {
+ public:
+  // Number of passes this algorithm needs (1 or 2).
+  virtual int passes() const = 0;
+
+  // Transitions from pass p to pass p+1.
+  virtual void AdvancePass() = 0;
+
+  // Returns the cover after the final pass, with weights evaluated under
+  // `g`.  Implementations bound to a specific function (g_np) may ignore
+  // `g`; see their documentation.
+  virtual GCover Cover(const GFunction& g) const = 0;
+};
+
+// Factory used by the recursive sketch to instantiate one heavy-hitter
+// sketch per subsampling level.
+using GHeavyHitterFactory =
+    std::function<std::unique_ptr<GHeavyHitterSketch>(int level, Rng& rng)>;
+
+// Test-only reference implementation: stores the exact frequency vector of
+// the substream (linear space!) and returns everything as the cover.  Used
+// to validate the recursive estimator in isolation from CountSketch noise.
+class ExactHeavyHitterSketch : public GHeavyHitterSketch {
+ public:
+  ExactHeavyHitterSketch() = default;
+
+  int passes() const override { return 1; }
+  void Update(ItemId item, int64_t delta) override { freq_[item] += delta; }
+  void AdvancePass() override {}
+
+  GCover Cover(const GFunction& g) const override {
+    GCover cover;
+    cover.reserve(freq_.size());
+    for (const auto& [item, value] : freq_) {
+      if (value == 0) continue;
+      cover.push_back(GCoverEntry{item, value, g.ValueAbs(value), true});
+    }
+    return cover;
+  }
+
+  size_t SpaceBytes() const override {
+    return freq_.size() * (sizeof(ItemId) + sizeof(int64_t));
+  }
+
+ private:
+  FrequencyMap freq_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_CORE_HEAVY_HITTERS_H_

@@ -1,0 +1,66 @@
+#include "core/mle.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "gfunc/envelope.h"
+#include "stream/exact.h"
+#include "util/logging.h"
+
+namespace gstream {
+
+MleCandidate MakePoissonMixtureCandidate(double lambda, double alpha,
+                                         double beta, uint64_t domain) {
+  MleCandidate candidate;
+  candidate.g = MakePoissonMixtureNll(lambda, alpha, beta);
+  const double log_p0 = PoissonMixtureLogPmf(lambda, alpha, beta, 0);
+  const double log_p1 = PoissonMixtureLogPmf(lambda, alpha, beta, 1);
+  candidate.scale = log_p0 - log_p1;
+  GSTREAM_CHECK(candidate.scale > 0.0);
+  candidate.constant = -static_cast<double>(domain) * log_p0;
+  return candidate;
+}
+
+MleResult ApproximateMle(const std::vector<MleCandidate>& family,
+                         const Stream& stream, uint64_t domain,
+                         const GSumOptions& options) {
+  GSTREAM_CHECK(!family.empty());
+  // The sketch form is shared across the family; size its envelope for the
+  // worst-case member so every decode's pruning interval is safe.
+  GSumOptions shared = options;
+  if (shared.h_envelope < 0.0) {
+    double h = 1.0;
+    for (const MleCandidate& c : family) {
+      h = std::max(h, HEnvelope(EvaluateTable(*c.g, shared.envelope_domain)));
+    }
+    shared.h_envelope = h;
+  }
+  GSumEstimator estimator(family.front().g, domain, shared);
+  estimator.Process(stream);
+
+  MleResult result;
+  result.space_bytes = estimator.SpaceBytes();
+  result.scores.reserve(family.size());
+  for (const MleCandidate& c : family) {
+    const double gsum = estimator.EstimateForG(*c.g);
+    result.scores.push_back(c.scale * gsum + c.constant);
+  }
+  result.best_index = static_cast<size_t>(
+      std::min_element(result.scores.begin(), result.scores.end()) -
+      result.scores.begin());
+  return result;
+}
+
+std::vector<double> ExactMleScores(const std::vector<MleCandidate>& family,
+                                   const Stream& stream) {
+  const FrequencyMap freq = ExactFrequencies(stream);
+  std::vector<double> scores;
+  scores.reserve(family.size());
+  for (const MleCandidate& c : family) {
+    scores.push_back(c.scale * ExactGSum(freq, c.g->AsCallable()) +
+                     c.constant);
+  }
+  return scores;
+}
+
+}  // namespace gstream

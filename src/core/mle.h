@@ -1,0 +1,58 @@
+// Streaming approximate maximum-likelihood estimation (paper §1.1.1).
+//
+// The coordinates of the frequency vector are i.i.d. samples from a
+// discrete distribution p(.; theta); the negative log-likelihood is
+//
+//   l(theta; v) = -sum_i log p(v_i; theta)
+//               = scale_theta * sum_i g_theta(v_i)  +  n * (-log p(0;theta))
+//
+// where g_theta(x) = (log p(0) - log p(x)) / (log p(0) - log p(1)) is the
+// class-G normalization of -log p.  Because the recursive sketch's linear
+// state is independent of g, ONE sketch of the stream is decoded under
+// every candidate theta; argmin of the decoded scores is the approximate
+// MLE, with the paper's guarantee l(theta-hat) <= (1+eps) l(theta*) when
+// each decode is a (1 +- eps)-approximation.
+
+#ifndef GSTREAM_CORE_MLE_H_
+#define GSTREAM_CORE_MLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/gsum.h"
+
+namespace gstream {
+
+// One hypothesis in the discrete family Theta.
+struct MleCandidate {
+  GFunctionPtr g;         // normalized g_theta (class G)
+  double scale = 1.0;     // log p(0) - log p(1)
+  double constant = 0.0;  // n * (-log p(0))
+};
+
+// Builds the candidate for a two-component Poisson mixture hypothesis
+// (lambda, alpha, beta) over a universe of `domain` samples.
+MleCandidate MakePoissonMixtureCandidate(double lambda, double alpha,
+                                         double beta, uint64_t domain);
+
+struct MleResult {
+  size_t best_index = 0;
+  std::vector<double> scores;  // decoded l(theta) per candidate
+  size_t space_bytes = 0;
+};
+
+// Processes `stream` once through a shared sketch configured by `options`
+// (the envelope is taken as the max over the family) and decodes every
+// candidate.  Returns the argmin hypothesis.
+MleResult ApproximateMle(const std::vector<MleCandidate>& family,
+                         const Stream& stream, uint64_t domain,
+                         const GSumOptions& options);
+
+// Exact counterpart for evaluation: l(theta) computed from the exact
+// frequency vector.
+std::vector<double> ExactMleScores(const std::vector<MleCandidate>& family,
+                                   const Stream& stream);
+
+}  // namespace gstream
+
+#endif  // GSTREAM_CORE_MLE_H_

@@ -1,0 +1,44 @@
+#include "core/moments.h"
+
+#include "util/logging.h"
+
+namespace gstream {
+
+FrequencyMomentEstimator::FrequencyMomentEstimator(
+    double p, uint64_t domain, const MomentOptions& options)
+    : p_(p) {
+  GSTREAM_CHECK(p >= 0.0);
+  if (p == 2.0) {
+    Rng rng(options.seed);
+    ams_ = std::make_unique<AmsSketch>(options.ams, rng);
+    return;
+  }
+  GSumOptions gsum = options.gsum;
+  gsum.seed = options.seed;
+  const GFunctionPtr g = (p == 0.0) ? MakeIndicator() : MakePower(p);
+  generic_ = std::make_unique<GSumEstimator>(g, domain, gsum);
+}
+
+void FrequencyMomentEstimator::Update(ItemId item, int64_t delta) {
+  if (ams_ != nullptr) {
+    ams_->Update(item, delta);
+  } else {
+    generic_->Update(item, delta);
+  }
+}
+
+double FrequencyMomentEstimator::Estimate() const {
+  return (ams_ != nullptr) ? ams_->EstimateF2() : generic_->Estimate();
+}
+
+double FrequencyMomentEstimator::Process(const Stream& stream) {
+  // `struct Update` disambiguates the update type from the member function.
+  for (const struct Update& u : stream.updates()) Update(u.item, u.delta);
+  return Estimate();
+}
+
+size_t FrequencyMomentEstimator::SpaceBytes() const {
+  return (ams_ != nullptr) ? ams_->SpaceBytes() : generic_->SpaceBytes();
+}
+
+}  // namespace gstream

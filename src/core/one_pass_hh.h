@@ -1,0 +1,70 @@
+// Algorithm 2 of the paper: the 1-pass (g, lambda, eps, delta)-heavy-hitter
+// algorithm (Section 4.3).
+//
+// A CountSketch sized for lambda / 3H(M) F2-heaviness runs alongside an AMS
+// F2 sketch.  At decode time each candidate's estimate v-hat is kept only
+// if g is stable on the interval v-hat +- E, where
+//
+//     E = (eps / 2H(M)) * sqrt(F2-hat)
+//
+// is the CountSketch error bound (Algorithm 2 lines 4-5).  The paper's
+// predictability machinery (Lemma 21) guarantees that for a predictable g
+// every true heavy hitter survives this pruning while any candidate whose
+// g-value could be mis-reported is rejected.  For a non-predictable g the
+// pruning rejects genuinely heavy items -- the observable one-pass failure
+// that Theorem 2 turns into a lower bound.
+//
+// The "for all |y| <= E" stability test is evaluated on a probe grid of
+// geometric and linear offsets (both signs); see DESIGN.md's substitution
+// table for why this preserves behaviour for every catalog function.
+
+#ifndef GSTREAM_CORE_ONE_PASS_HH_H_
+#define GSTREAM_CORE_ONE_PASS_HH_H_
+
+#include "core/heavy_hitters.h"
+#include "sketch/ams.h"
+#include "sketch/count_sketch.h"
+
+namespace gstream {
+
+struct OnePassHHOptions {
+  CountSketchOptions count_sketch;
+  AmsOptions ams;
+  // Candidate ids tracked (3 H(M) / lambda in the paper's parameterization).
+  size_t candidates = 64;
+  // Approximation accuracy eps of the cover.
+  double epsilon = 0.25;
+  // The envelope H(M) of the function (gfunc/envelope.h); governs the
+  // pruning interval E.
+  double h_envelope = 1.0;
+  // Probe magnitudes per sign used to approximate "for all |y| <= E".
+  size_t probe_points = 24;
+};
+
+class OnePassHeavyHitter : public GHeavyHitterSketch {
+ public:
+  OnePassHeavyHitter(const OnePassHHOptions& options, Rng& rng);
+
+  int passes() const override { return 1; }
+  void Update(ItemId item, int64_t delta) override;
+  void AdvancePass() override;
+  GCover Cover(const GFunction& g) const override;
+  size_t SpaceBytes() const override;
+
+  // The pruning interval E derived from the current F2 estimate.
+  int64_t PruningRadius() const;
+
+  // Exposed for tests: whether the estimate v-hat would survive pruning
+  // under `g` with radius E.
+  static bool SurvivesPruning(const GFunction& g, int64_t v_hat, int64_t e,
+                              double epsilon, size_t probe_points);
+
+ private:
+  OnePassHHOptions options_;
+  CountSketchTopK tracker_;
+  AmsSketch ams_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_CORE_ONE_PASS_HH_H_

@@ -1,0 +1,76 @@
+#include "core/recursive_sketch.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace gstream {
+
+RecursiveGSum::RecursiveGSum(int levels, const GHeavyHitterFactory& factory,
+                             Rng& rng)
+    : subsampler_(levels, rng) {
+  GSTREAM_CHECK_GE(levels, 0);
+  sketches_.reserve(static_cast<size_t>(levels) + 1);
+  for (int l = 0; l <= levels; ++l) {
+    sketches_.push_back(factory(l, rng));
+    GSTREAM_CHECK(sketches_.back() != nullptr);
+    GSTREAM_CHECK_EQ(sketches_.back()->passes(), sketches_.front()->passes());
+  }
+}
+
+void RecursiveGSum::Update(ItemId item, int64_t delta) {
+  const int deepest = subsampler_.LevelOf(item);
+  for (int l = 0; l <= std::min(deepest, levels()); ++l) {
+    sketches_[static_cast<size_t>(l)]->Update(item, delta);
+  }
+}
+
+void RecursiveGSum::AdvancePass() {
+  for (auto& sketch : sketches_) sketch->AdvancePass();
+}
+
+double RecursiveGSum::Estimate(const GFunction& g) const {
+  const int max_level = levels();
+  // Materialize the covers once; keep per-level weight maps for the exact
+  // cancellation of heavy items against the deeper level's estimate.
+  std::vector<std::unordered_map<ItemId, double>> weights(
+      static_cast<size_t>(max_level) + 1);
+  for (int l = 0; l <= max_level; ++l) {
+    for (const GCoverEntry& entry :
+         sketches_[static_cast<size_t>(l)]->Cover(g)) {
+      const double w =
+          entry.has_frequency ? g.ValueAbs(entry.frequency) : entry.g_value;
+      weights[static_cast<size_t>(l)].emplace(entry.item, w);
+    }
+  }
+  double x = 0.0;
+  for (const auto& [item, w] : weights[static_cast<size_t>(max_level)]) {
+    x += w;
+  }
+  for (int l = max_level - 1; l >= 0; --l) {
+    const auto& level_weights = weights[static_cast<size_t>(l)];
+    const auto& deeper_weights = weights[static_cast<size_t>(l) + 1];
+    double own = 0.0;
+    double overlap = 0.0;
+    for (const auto& [item, w] : level_weights) {
+      own += w;
+      if (subsampler_.InLevel(item, l + 1)) {
+        // Use the deeper level's weight when it reported one so the
+        // subtraction cancels its contribution to x exactly.
+        const auto it = deeper_weights.find(item);
+        overlap += (it != deeper_weights.end()) ? it->second : w;
+      }
+    }
+    x = own + 2.0 * (x - overlap);
+  }
+  return std::max(0.0, x);
+}
+
+size_t RecursiveGSum::SpaceBytes() const {
+  size_t bytes = subsampler_.SpaceBytes();
+  for (const auto& sketch : sketches_) bytes += sketch->SpaceBytes();
+  return bytes;
+}
+
+}  // namespace gstream

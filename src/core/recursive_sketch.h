@@ -1,0 +1,60 @@
+// The Braverman-Ostrovsky recursive sketch (paper Theorem 13): reduces
+// (g, eps)-SUM to (g, lambda, eps, delta)-heavy hitters with an O(log n)
+// space overhead.
+//
+// Structure: items are nested-subsampled into levels S_0 superset S_1
+// superset ... superset S_L (each level halving, pairwise independent); an
+// independent heavy-hitter sketch runs on each level's substream.  With
+// cover C_l at level l and weights w, the estimate is computed bottom-up:
+//
+//     X_L = sum_{i in C_L} w_i
+//     X_l = sum_{i in C_l} w_i + 2 * ( X_{l+1} - sum_{i in C_l ∩ S_{l+1}} w_i )
+//
+// Each level accounts its heavy hitters exactly and estimates the light
+// mass by twice the next level's estimate of it (subtracting the heavy
+// items it already counted, using the deeper level's weight when available
+// so the cancellation is exact).  E[X_0] = g-SUM when covers are faithful;
+// the heaviness parameter lambda = eps^2 / log^3 n controls the variance
+// (Theorem 13).  The recursion depth is chosen so the deepest level holds
+// few enough items for its sketch to cover completely.
+
+#ifndef GSTREAM_CORE_RECURSIVE_SKETCH_H_
+#define GSTREAM_CORE_RECURSIVE_SKETCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/heavy_hitters.h"
+#include "sketch/subsampler.h"
+
+namespace gstream {
+
+class RecursiveGSum {
+ public:
+  // `levels` = L >= 0; the factory is invoked once per level 0..L.
+  RecursiveGSum(int levels, const GHeavyHitterFactory& factory, Rng& rng);
+
+  // Passes required (that of the per-level sketches).
+  int passes() const { return sketches_.front()->passes(); }
+
+  // Routes the update to every level whose sample contains the item.
+  void Update(ItemId item, int64_t delta);
+
+  // Transitions every level sketch to its next pass.
+  void AdvancePass();
+
+  // The recursive estimate of sum_i g(|v_i|).  Clamped below at 0.
+  double Estimate(const GFunction& g) const;
+
+  size_t SpaceBytes() const;
+
+  int levels() const { return static_cast<int>(sketches_.size()) - 1; }
+
+ private:
+  NestedSubsampler subsampler_;
+  std::vector<std::unique_ptr<GHeavyHitterSketch>> sketches_;  // per level
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_CORE_RECURSIVE_SKETCH_H_

@@ -1,0 +1,49 @@
+#include "core/two_pass_hh.h"
+
+#include "util/logging.h"
+
+namespace gstream {
+
+TwoPassHeavyHitter::TwoPassHeavyHitter(const TwoPassHHOptions& options,
+                                       Rng& rng)
+    : options_(options),
+      tracker_(options.count_sketch, options.candidates, rng) {}
+
+void TwoPassHeavyHitter::Update(ItemId item, int64_t delta) {
+  if (current_pass_ == 1) {
+    tracker_.Update(item, delta);
+  } else {
+    // Only the frozen candidates are tabulated; everything else is skipped,
+    // which is what keeps the second pass sub-polynomial.
+    const auto it = exact_counts_.find(item);
+    if (it != exact_counts_.end()) it->second += delta;
+  }
+}
+
+void TwoPassHeavyHitter::AdvancePass() {
+  GSTREAM_CHECK_EQ(current_pass_, 1);
+  current_pass_ = 2;
+  // Freeze the candidate list, discarding the pass-1 frequency estimates
+  // (Algorithm 1 line 3).
+  for (const auto& [item, estimate] : tracker_.TopK()) {
+    exact_counts_[item] = 0;
+  }
+}
+
+GCover TwoPassHeavyHitter::Cover(const GFunction& g) const {
+  GSTREAM_CHECK_EQ(current_pass_, 2);
+  GCover cover;
+  cover.reserve(exact_counts_.size());
+  for (const auto& [item, value] : exact_counts_) {
+    if (value == 0) continue;
+    cover.push_back(GCoverEntry{item, value, g.ValueAbs(value), true});
+  }
+  return cover;
+}
+
+size_t TwoPassHeavyHitter::SpaceBytes() const {
+  return tracker_.SpaceBytes() +
+         exact_counts_.size() * (sizeof(ItemId) + sizeof(int64_t));
+}
+
+}  // namespace gstream

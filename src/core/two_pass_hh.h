@@ -1,0 +1,53 @@
+// Algorithm 1 of the paper: the 2-pass (g, lambda, 0, delta)-heavy-hitter
+// algorithm (Section 4.2).
+//
+// Pass 1 runs a CountSketch sized for lambda / 2H(M) heaviness under F2 and
+// keeps the items with the largest estimated magnitudes, discarding the
+// estimates.  Pass 2 tabulates the exact frequency of each kept item, so
+// the cover weights are exact (eps = 0): local variability of g is
+// irrelevant, which is precisely why predictability is not needed with two
+// passes (Theorem 3).
+//
+// Lemma 17/18 justify the sizing: if g is slow-jumping and slow-dropping
+// then every (g, lambda)-heavy hitter is (lambda / H(M))-heavy for F2, and
+// at most H(M)/lambda items can be at least as large, so tracking
+// `candidates` = O(H(M)/lambda) ids suffices.
+
+#ifndef GSTREAM_CORE_TWO_PASS_HH_H_
+#define GSTREAM_CORE_TWO_PASS_HH_H_
+
+#include <unordered_map>
+
+#include "core/heavy_hitters.h"
+#include "sketch/count_sketch.h"
+
+namespace gstream {
+
+struct TwoPassHHOptions {
+  CountSketchOptions count_sketch;
+  // Number of candidate ids carried into the second pass
+  // (2 H(M) / lambda in the paper's parameterization).
+  size_t candidates = 64;
+};
+
+class TwoPassHeavyHitter : public GHeavyHitterSketch {
+ public:
+  TwoPassHeavyHitter(const TwoPassHHOptions& options, Rng& rng);
+
+  int passes() const override { return 2; }
+  void Update(ItemId item, int64_t delta) override;
+  void AdvancePass() override;
+  GCover Cover(const GFunction& g) const override;
+  size_t SpaceBytes() const override;
+
+ private:
+  TwoPassHHOptions options_;
+  int current_pass_ = 1;
+  CountSketchTopK tracker_;
+  // Exact counters for the pass-2 candidates.
+  std::unordered_map<ItemId, int64_t> exact_counts_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_CORE_TWO_PASS_HH_H_

@@ -1,0 +1,223 @@
+#include "gfunc/catalog.h"
+
+#include <cmath>
+
+#include "util/bit.h"
+#include "util/logging.h"
+
+namespace gstream {
+
+std::vector<double> EvaluateTable(const GFunction& g, int64_t max_x) {
+  GSTREAM_CHECK_GE(max_x, 1);
+  std::vector<double> table(static_cast<size_t>(max_x) + 1);
+  for (int64_t x = 0; x <= max_x; ++x) {
+    table[static_cast<size_t>(x)] = g.Value(x);
+  }
+  return table;
+}
+
+namespace {
+
+constexpr double kSaturation = 1e300;
+
+// Wraps a raw function shape, pinning g(0)=0 and rescaling by 1/raw(1) so
+// g(1)=1 (the paper's w.l.o.g. normalization at the end of Section 3).
+class NormalizedG : public GFunction {
+ public:
+  NormalizedG(std::string name, std::function<double(int64_t)> raw)
+      : name_(std::move(name)), raw_(std::move(raw)) {
+    const double at_one = raw_(1);
+    GSTREAM_CHECK(at_one > 0.0);
+    scale_ = 1.0 / at_one;
+  }
+
+  double Value(int64_t x) const override {
+    GSTREAM_CHECK_GE(x, 0);
+    if (x == 0) return 0.0;
+    const double v = raw_(x) * scale_;
+    GSTREAM_CHECK(v > 0.0);
+    return std::min(v, kSaturation);
+  }
+
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::function<double(int64_t)> raw_;
+  double scale_ = 1.0;
+};
+
+GFunctionPtr Normalized(std::string name,
+                        std::function<double(int64_t)> raw) {
+  return std::make_shared<NormalizedG>(std::move(name), std::move(raw));
+}
+
+}  // namespace
+
+double PoissonMixtureLogPmf(double lambda, double alpha, double beta,
+                            int64_t x) {
+  auto log_pois = [](double mean, int64_t k) {
+    return static_cast<double>(k) * std::log(mean) - mean -
+           std::lgamma(static_cast<double>(k) + 1.0);
+  };
+  const double la = std::log(lambda) + log_pois(alpha, x);
+  const double lb = std::log1p(-lambda) + log_pois(beta, x);
+  const double hi = std::max(la, lb);
+  return hi + std::log(std::exp(la - hi) + std::exp(lb - hi));
+}
+
+GFunctionPtr MakePower(double p) {
+  GSTREAM_CHECK(p >= 0.0);
+  char name[32];
+  std::snprintf(name, sizeof(name), "x^%.2f", p);
+  return Normalized(name, [p](int64_t x) {
+    return std::pow(static_cast<double>(x), p);
+  });
+}
+
+GFunctionPtr MakeIndicator() {
+  return Normalized("1(x>0)", [](int64_t) { return 1.0; });
+}
+
+GFunctionPtr MakeX2Log() {
+  return Normalized("x^2*lg(1+x)", [](int64_t x) {
+    const double xd = static_cast<double>(x);
+    return xd * xd * std::log2(1.0 + xd);
+  });
+}
+
+GFunctionPtr MakeSinModulated() {
+  return Normalized("(2+sin x)x^2", [](int64_t x) {
+    const double xd = static_cast<double>(x);
+    return (2.0 + std::sin(xd)) * xd * xd;
+  });
+}
+
+GFunctionPtr MakeSinSqrtModulated() {
+  return Normalized("(2+sin sqrt(x))x^2", [](int64_t x) {
+    const double xd = static_cast<double>(x);
+    return (2.0 + std::sin(std::sqrt(xd))) * xd * xd;
+  });
+}
+
+GFunctionPtr MakeSinLogModulated() {
+  return Normalized("(2+sin log(1+x))x^2", [](int64_t x) {
+    const double xd = static_cast<double>(x);
+    return (2.0 + std::sin(std::log(1.0 + xd))) * xd * xd;
+  });
+}
+
+GFunctionPtr MakeExpSqrtLog() {
+  return Normalized("e^sqrt(log(1+x))", [](int64_t x) {
+    return std::exp(std::sqrt(std::log(1.0 + static_cast<double>(x))));
+  });
+}
+
+GFunctionPtr MakeInversePoly(double p) {
+  GSTREAM_CHECK(p > 0.0);
+  char name[32];
+  std::snprintf(name, sizeof(name), "x^-%.2f", p);
+  return Normalized(name, [p](int64_t x) {
+    return std::pow(static_cast<double>(x), -p);
+  });
+}
+
+GFunctionPtr MakeInverseLog() {
+  return Normalized("1/log2(1+x)", [](int64_t x) {
+    return 1.0 / std::log2(1.0 + static_cast<double>(x));
+  });
+}
+
+GFunctionPtr MakeExponential() {
+  return Normalized("2^x", [](int64_t x) {
+    // Saturate: beyond 996 bits the double would overflow to inf.
+    return (x > 996) ? kSaturation : std::exp2(static_cast<double>(x));
+  });
+}
+
+GFunctionPtr MakeGnp() {
+  return Normalized("g_np", [](int64_t x) {
+    return std::exp2(-static_cast<double>(
+        LowestSetBit(static_cast<uint64_t>(x))));
+  });
+}
+
+GFunctionPtr MakePoissonMixtureNll(double lambda, double alpha, double beta) {
+  GSTREAM_CHECK(lambda > 0.0 && lambda < 1.0);
+  GSTREAM_CHECK(alpha > 0.0 && beta > 0.0);
+  const double log_p0 = PoissonMixtureLogPmf(lambda, alpha, beta, 0);
+  // Positivity of the shifted g requires p(0) to be the mode; verify on a
+  // generous prefix (the pmf is eventually decreasing).
+  for (int64_t x = 1; x <= 4096; ++x) {
+    GSTREAM_CHECK(PoissonMixtureLogPmf(lambda, alpha, beta, x) < log_p0);
+  }
+  char name[64];
+  std::snprintf(name, sizeof(name), "poisson_nll(%.2f,%.2f,%.2f)", lambda,
+                alpha, beta);
+  return Normalized(name, [lambda, alpha, beta, log_p0](int64_t x) {
+    return log_p0 - PoissonMixtureLogPmf(lambda, alpha, beta, x);
+  });
+}
+
+GFunctionPtr MakeSpamClickFee(int64_t threshold) {
+  GSTREAM_CHECK_GE(threshold, 2);
+  char name[32];
+  std::snprintf(name, sizeof(name), "spam_fee(T=%lld)",
+                static_cast<long long>(threshold));
+  return Normalized(name, [threshold](int64_t x) {
+    if (x <= threshold) return static_cast<double>(x);
+    return static_cast<double>(std::max<int64_t>(1, 2 * threshold - x));
+  });
+}
+
+std::string VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kOnePassTractable:
+      return "1-pass";
+    case Verdict::kTwoPassTractable:
+      return "2-pass";
+    case Verdict::kIntractable:
+      return "intractable";
+    case Verdict::kNearlyPeriodic:
+      return "nearly-periodic";
+  }
+  return "?";
+}
+
+std::vector<CatalogEntry> BuiltinCatalog() {
+  std::vector<CatalogEntry> entries;
+  auto add = [&](GFunctionPtr g, bool sj, bool sd, bool pr, Verdict v,
+                 int64_t hint = 0) {
+    entries.push_back(CatalogEntry{std::move(g), sj, sd, pr, v, hint});
+  };
+  // Ground truth columns follow the paper's worked examples (Defs 6-8 and
+  // Section 4.6).  Predictability for x^-1 and x^3 is vacuously true: their
+  // relative variation within [1, x^{1-gamma}) offsets never exceeds a
+  // constant epsilon for large x (1/x), or the offset stays inside the
+  // delta-neighborhood (x^3), so the implication in Def. 8 never fires.
+  add(MakePower(1.0), true, true, true, Verdict::kOnePassTractable);
+  add(MakePower(1.5), true, true, true, Verdict::kOnePassTractable);
+  add(MakePower(2.0), true, true, true, Verdict::kOnePassTractable);
+  add(MakeIndicator(), true, true, true, Verdict::kOnePassTractable);
+  add(MakeX2Log(), true, true, true, Verdict::kOnePassTractable);
+  add(MakeSinLogModulated(), true, true, true, Verdict::kOnePassTractable);
+  add(MakeExpSqrtLog(), true, true, true, Verdict::kOnePassTractable);
+  add(MakeInverseLog(), true, true, true, Verdict::kOnePassTractable);
+  add(MakeSpamClickFee(16), true, true, true, Verdict::kOnePassTractable);
+  add(MakePoissonMixtureNll(0.95, 0.5, 8.0), true, true, true,
+      Verdict::kOnePassTractable);
+  add(MakeSinModulated(), true, true, false, Verdict::kTwoPassTractable);
+  add(MakeSinSqrtModulated(), true, true, false, Verdict::kTwoPassTractable);
+  add(MakePower(3.0), false, true, true, Verdict::kIntractable);
+  add(MakeExponential(), false, true, false, Verdict::kIntractable,
+      /*hint=*/768);
+  add(MakeInversePoly(1.0), true, false, true, Verdict::kIntractable);
+  // g_np is predictable: whenever g_np(x+y) != g_np(x) the offset y must
+  // share x's lowest set bit (i_y = i_x) or undercut it (i_y < i_x), and
+  // in both cases g_np(y) >= g_np(x) >= x^{-gamma} g_np(x) -- the Def. 8
+  // implication never fires.  It fails slow-jumping and slow-dropping.
+  add(MakeGnp(), false, false, true, Verdict::kNearlyPeriodic);
+  return entries;
+}
+
+}  // namespace gstream

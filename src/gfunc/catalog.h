@@ -1,0 +1,112 @@
+// The catalog of concrete functions studied in the paper.
+//
+// Every example the paper mentions is here, each normalized so that
+// g(0) = 0 and g(1) = 1 (Section 3's w.l.o.g. scaling):
+//
+//   tractable in one pass:   x^p (p <= 2), 1(x>0), x^2 lg(1+x),
+//                            (2 + sin log(1+x)) x^2, e^{sqrt(log(1+x))},
+//                            1/log2(1+x), Poisson-mixture log-likelihood,
+//                            spam-discounted click fee
+//   tractable in two passes: (2 + sin x) x^2, (2 + sin sqrt(x)) x^2
+//   intractable:             x^p (p > 2), 2^x, x^{-p}
+//   nearly periodic:         g_np(x) = 2^{-(index of lowest set bit of x)}
+//
+// Factories return shared_ptr<const GFunction> so catalog entries can be
+// freely copied into experiment tables.
+
+#ifndef GSTREAM_GFUNC_CATALOG_H_
+#define GSTREAM_GFUNC_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gfunc/gfunction.h"
+
+namespace gstream {
+
+using GFunctionPtr = std::shared_ptr<const GFunction>;
+
+// x^p for p >= 0 (p == 0 gives the F0 indicator 1(x > 0)).
+GFunctionPtr MakePower(double p);
+
+// 1(x > 0): distinct-element counting.
+GFunctionPtr MakeIndicator();
+
+// x^2 lg(1+x), the paper's Section 4.6 one-pass example.
+GFunctionPtr MakeX2Log();
+
+// (2 + sin x) x^2: slow-jumping and slow-dropping but not predictable.
+GFunctionPtr MakeSinModulated();
+
+// (2 + sin sqrt(x)) x^2: the Section 4.6 two-pass-only example.
+GFunctionPtr MakeSinSqrtModulated();
+
+// (2 + sin log(1+x)) x^2: modulated slowly enough to be predictable.
+GFunctionPtr MakeSinLogModulated();
+
+// e^{sqrt(log(1+x))}: sub-polynomial growth, one-pass tractable.
+GFunctionPtr MakeExpSqrtLog();
+
+// x^{-p} for p > 0: polynomial decay, not slow-dropping (intractable).
+GFunctionPtr MakeInversePoly(double p);
+
+// 1 / log2(1+x): sub-polynomial decay, tractable (Braverman-Chestnut).
+GFunctionPtr MakeInverseLog();
+
+// 2^x, saturated at 1e300: grows too fast (not slow-jumping).
+GFunctionPtr MakeExponential();
+
+// g_np(x) = 2^{-i_x} where i_x is the index of the lowest set bit of x
+// (Definition 52): the tractable nearly periodic example.
+GFunctionPtr MakeGnp();
+
+// Negative log-likelihood of a two-component Poisson mixture
+// p(x) = lambda Pois(alpha)(x) + (1-lambda) Pois(beta)(x), shifted by
+// +log p(0) so that g(0) = 0 and rescaled so that g(1) = 1.  Requires
+// parameters for which p(0) = max_x p(x) so that g stays positive
+// (checked at construction).  Non-monotone when beta >> alpha.
+GFunctionPtr MakePoissonMixtureNll(double lambda, double alpha, double beta);
+
+// Spam-discounted click fee (paper §1.1.2): g(x) = x up to `threshold`
+// clicks, then linearly discounted down to a floor of 1.  Non-monotone,
+// bounded, one-pass tractable.
+GFunctionPtr MakeSpamClickFee(int64_t threshold);
+
+// log p(x) of the two-component Poisson mixture
+// p = lambda Pois(alpha) + (1-lambda) Pois(beta), computed in log space.
+// Shared with the MLE application (core/mle.h).
+double PoissonMixtureLogPmf(double lambda, double alpha, double beta,
+                            int64_t x);
+
+// The zero-one-law verdicts of Theorems 2 and 3.
+enum class Verdict {
+  kOnePassTractable,   // slow-jumping + slow-dropping + predictable
+  kTwoPassTractable,   // slow-jumping + slow-dropping only
+  kIntractable,        // a property fails and the function is normal
+  kNearlyPeriodic,     // escapes the law (Definition 9)
+};
+
+// Converts a verdict to a short display string.
+std::string VerdictName(Verdict v);
+
+// A catalog entry bundles a function with its paper-derived ground truth,
+// used by tests and the E10 classification experiment.
+struct CatalogEntry {
+  GFunctionPtr g;
+  bool slow_jumping = false;
+  bool slow_dropping = false;
+  bool predictable = false;
+  Verdict expected_verdict = Verdict::kIntractable;
+  // Domain on which to run the property checkers for this function; 0 means
+  // "use the caller's default".  Needed for 2^x, whose double-precision
+  // saturation above x ~ 996 would otherwise mask its growth.
+  int64_t classify_domain_hint = 0;
+};
+
+// All catalog functions with their expected properties per the paper.
+std::vector<CatalogEntry> BuiltinCatalog();
+
+}  // namespace gstream
+
+#endif  // GSTREAM_GFUNC_CATALOG_H_

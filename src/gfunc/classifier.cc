@@ -1,0 +1,27 @@
+#include "gfunc/classifier.h"
+
+#include "gfunc/envelope.h"
+
+namespace gstream {
+
+ClassificationResult Classify(const GFunction& g,
+                              const PropertyCheckOptions& options) {
+  const std::vector<double> table = EvaluateTable(g, options.domain_max);
+  ClassificationResult r;
+  r.slow_jumping = CheckSlowJumping(table, options);
+  r.slow_dropping = CheckSlowDropping(table, options);
+  r.predictable = CheckPredictable(table, options);
+  r.h_envelope = HEnvelope(table);
+  if (r.slow_jumping.holds && r.slow_dropping.holds) {
+    r.verdict = r.predictable.holds ? Verdict::kOnePassTractable
+                                    : Verdict::kTwoPassTractable;
+    r.nearly_periodic.holds = false;  // normal by construction
+    return r;
+  }
+  r.nearly_periodic = CheckNearlyPeriodic(table, options);
+  r.verdict = r.nearly_periodic.holds ? Verdict::kNearlyPeriodic
+                                      : Verdict::kIntractable;
+  return r;
+}
+
+}  // namespace gstream

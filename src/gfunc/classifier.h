@@ -1,0 +1,37 @@
+// The zero-one-law classifier: applies the property checkers and emits the
+// verdict of Theorems 2 and 3.
+//
+//   slow-jumping + slow-dropping + predictable  -> 1-pass tractable
+//   slow-jumping + slow-dropping                -> 2-pass tractable
+//   otherwise, nearly periodic screen passes    -> nearly periodic (outside
+//                                                  the law; may still be
+//                                                  tractable, e.g. g_np)
+//   otherwise                                   -> intractable
+
+#ifndef GSTREAM_GFUNC_CLASSIFIER_H_
+#define GSTREAM_GFUNC_CLASSIFIER_H_
+
+#include "gfunc/catalog.h"
+#include "gfunc/properties.h"
+
+namespace gstream {
+
+struct ClassificationResult {
+  PropertyResult slow_jumping;
+  PropertyResult slow_dropping;
+  PropertyResult predictable;
+  // holds == true here means "the nearly periodic screen passed".
+  PropertyResult nearly_periodic;
+  Verdict verdict = Verdict::kIntractable;
+  // Envelope H(M) over the probed domain, for reporting.
+  double h_envelope = 1.0;
+};
+
+// Classifies `g` on the finite domain given by `options`.  Evaluates g once
+// into a table shared by all checkers.
+ClassificationResult Classify(const GFunction& g,
+                              const PropertyCheckOptions& options);
+
+}  // namespace gstream
+
+#endif  // GSTREAM_GFUNC_CLASSIFIER_H_

@@ -1,0 +1,60 @@
+#include "gfunc/envelope.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace gstream {
+
+double DropEnvelope(const std::vector<double>& table) {
+  GSTREAM_CHECK_GE(table.size(), 2u);
+  double worst = 1.0;
+  double prefix_max = 0.0;
+  for (size_t y = 1; y < table.size(); ++y) {
+    if (prefix_max > 0.0) {
+      worst = std::max(worst, prefix_max / table[y]);
+    }
+    prefix_max = std::max(prefix_max, table[y]);
+  }
+  return worst;
+}
+
+double JumpEnvelope(const std::vector<double>& table) {
+  GSTREAM_CHECK_GE(table.size(), 2u);
+  // H_j = max_y [g(y)/y^2] / min_{x<y} [g(x)/x^2].
+  double worst = 1.0;
+  double prefix_min = std::numeric_limits<double>::infinity();
+  for (size_t y = 1; y < table.size(); ++y) {
+    const double ratio =
+        table[y] / (static_cast<double>(y) * static_cast<double>(y));
+    if (std::isfinite(prefix_min)) {
+      worst = std::max(worst, ratio / prefix_min);
+    }
+    prefix_min = std::min(prefix_min, ratio);
+  }
+  return worst;
+}
+
+double HEnvelope(const std::vector<double>& table) {
+  return std::max({1.0, DropEnvelope(table), JumpEnvelope(table)});
+}
+
+int64_t PredictabilityRadius(const GFunction& g, int64_t x, double eps,
+                             int64_t max_radius) {
+  GSTREAM_CHECK_GE(x, 1);
+  GSTREAM_CHECK(eps > 0.0);
+  const double gx = g.Value(x);
+  for (int64_t r = 1; r <= max_radius; ++r) {
+    const double up = g.Value(x + r);
+    if (std::fabs(up - gx) > eps * gx) return r - 1;
+    if (x - r >= 0) {
+      const double down = g.Value(x - r);
+      if (std::fabs(down - gx) > eps * gx) return r - 1;
+    }
+  }
+  return max_radius;
+}
+
+}  // namespace gstream

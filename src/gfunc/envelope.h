@@ -1,0 +1,49 @@
+// Finite-domain envelopes: the quantities H(M) and r_eps(x) that the
+// paper's algorithms consult.
+//
+// Propositions 15, 16 and 20 convert the asymptotic properties into
+// concrete non-decreasing sub-polynomial envelope functions; the algorithms
+// of Sections 4.2 and 4.3 only ever evaluate them at the frequency bound M.
+// On a finite domain we can compute the *tight* such constants:
+//
+//   DropEnvelope:  H_d = max_{x < y <= M} g(x) / g(y)
+//                  (so g(y) >= g(x) / H_d for all x < y, Prop. 15)
+//   JumpEnvelope:  H_j = max_{x < y <= M} g(y) x^2 / (y^2 g(x))
+//                  (so g(y) <= (y/x)^2 H_j g(x), Prop. 16 instantiated as
+//                  in Section 4.2's description of H)
+//   HEnvelope   :  max(H_d, H_j, 1) -- the H(M) used by Algorithms 1 and 2.
+//
+// For a tractable g these are sub-polynomial in M (e.g. polylog); for an
+// intractable g they blow up polynomially, which is exactly why the same
+// algorithm code degrades gracefully instead of failing: its CountSketch
+// would need polynomially many buckets.  Experiment E10 tabulates them.
+
+#ifndef GSTREAM_GFUNC_ENVELOPE_H_
+#define GSTREAM_GFUNC_ENVELOPE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gfunc/gfunction.h"
+
+namespace gstream {
+
+// Tight drop envelope over the table's domain.  O(M).
+double DropEnvelope(const std::vector<double>& table);
+
+// Tight jump envelope over the table's domain.  O(M) via prefix minima of
+// g(x)/x^2.
+double JumpEnvelope(const std::vector<double>& table);
+
+// H(M) = max(1, DropEnvelope, JumpEnvelope).
+double HEnvelope(const std::vector<double>& table);
+
+// r_eps(x): the largest r >= 0 such that every x' with |x' - x| <= r has
+// |g(x') - g(x)| <= eps * g(x)  (the paper's delta_eps neighborhood radius,
+// Section 4.3).  The scan is capped at `max_radius`; x' is clamped to >= 0.
+int64_t PredictabilityRadius(const GFunction& g, int64_t x, double eps,
+                             int64_t max_radius);
+
+}  // namespace gstream
+
+#endif  // GSTREAM_GFUNC_ENVELOPE_H_

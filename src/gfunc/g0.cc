@@ -1,0 +1,112 @@
+#include "gfunc/g0.h"
+
+#include <cmath>
+
+#include "gfunc/classifier.h"
+#include "util/logging.h"
+
+namespace gstream {
+namespace {
+
+class G0Function : public GFunction {
+ public:
+  G0Function(GFunctionPtr base, double at_zero)
+      : base_(std::move(base)), at_zero_(at_zero) {
+    GSTREAM_CHECK(at_zero_ > 0.0);
+  }
+
+  double Value(int64_t x) const override {
+    return (x == 0) ? at_zero_ : base_->Value(x);
+  }
+
+  std::string name() const override {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "g0(%s;%.2f)", base_->name().c_str(),
+                  at_zero_);
+    return buf;
+  }
+
+ private:
+  GFunctionPtr base_;
+  double at_zero_;
+};
+
+}  // namespace
+
+GFunctionPtr MakeG0Function(GFunctionPtr base, double at_zero) {
+  GSTREAM_CHECK(base != nullptr);
+  return std::make_shared<G0Function>(std::move(base), at_zero);
+}
+
+G0ScreenResult ScreenG0(const GFunction& g, int64_t domain_max) {
+  GSTREAM_CHECK_GE(domain_max, 2);
+  G0ScreenResult result;
+  for (int64_t x = 1; x <= domain_max; ++x) {
+    const double v = g.Value(x);
+    if (v < 0.0 && !result.crosses_axis) {
+      result.crosses_axis = true;
+      result.negative_witness = x;
+    }
+    if (v == 0.0 && !result.has_zero_point) {
+      result.has_zero_point = true;
+      result.zero_witness = x;
+    }
+  }
+  if (result.has_zero_point && !result.crosses_axis) {
+    // Proposition 38's escape: 2 * zero_witness must be a period.
+    const int64_t period = 2 * result.zero_witness;
+    result.periodic_escape = true;
+    for (int64_t x = 0; x + period <= domain_max; ++x) {
+      if (g.Value(x) != g.Value(x + period)) {
+        result.periodic_escape = false;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+G0Classification ClassifyG0(const GFunction& g,
+                            const PropertyCheckOptions& options) {
+  G0Classification result;
+  result.screen = ScreenG0(g, options.domain_max);
+  if (result.screen.crosses_axis) {
+    result.omega_n = true;
+    result.verdict = Verdict::kIntractable;
+    return result;
+  }
+  if (result.screen.has_zero_point) {
+    // Proposition 38: a zero point forces either periodicity (outside the
+    // zero-one law, potentially tractable -- the same "escape" status as
+    // the nearly periodic class) or intractability.
+    result.verdict = result.screen.periodic_escape
+                         ? Verdict::kNearlyPeriodic
+                         : Verdict::kIntractable;
+    return result;
+  }
+  // Theorems 39-41: the laws for x >= 1 mirror the g(0) = 0 case; rescale
+  // to g(1) = 1 so the restriction lies in class G, then reuse the
+  // Definitions 6-8 checkers.
+  const double at_one = g.Value(1);
+  GSTREAM_CHECK(at_one > 0.0);
+  class Restriction : public GFunction {
+   public:
+    Restriction(const GFunction& base, double scale)
+        : base_(base), scale_(scale) {}
+    double Value(int64_t x) const override {
+      return (x == 0) ? 0.0 : base_.Value(x) * scale_;
+    }
+    std::string name() const override {
+      return "restrict(" + base_.name() + ")";
+    }
+
+   private:
+    const GFunction& base_;
+    double scale_;
+  };
+  const Restriction restricted(g, 1.0 / at_one);
+  result.verdict = Classify(restricted, options).verdict;
+  return result;
+}
+
+}  // namespace gstream

@@ -1,0 +1,66 @@
+// Appendix A of the paper: the case g(0) != 0.
+//
+// When g(0) != 0 the value of g-SUM depends on the dimension n (every
+// untouched coordinate contributes g(0)), and the INDEX reductions change
+// shape.  The appendix establishes:
+//
+//  * Lemma 34 / Proposition 36: if g takes both positive and negative
+//    values (and is non-linear), g-SUM requires Omega(n) space -- a
+//    constant-factor approximation already solves INDEX.
+//  * Propositions 37/38: if g(x) = 0 for some x > 0, g is tractable only
+//    if g is periodic (with period dividing 2x).
+//  * For strictly positive symmetric g with g(0) = 1 (the class G_0), the
+//    same zero-one laws hold with the nearly periodic screen shifted to
+//    |g(x) - g(x - 2y)| (Definition 33).
+//
+// This module provides the class-G_0 adapter and the two structural
+// screens; classification then reuses the Definitions 6-8 checkers, which
+// only inspect x >= 1.  g-SUM estimation for G_0 functions reduces to the
+// g(0) = 0 machinery: sum_i g(|v_i|) = n * g(0) + sum_i [g(|v_i|) - g(0)]
+// whenever the shifted function stays in class G (checked by the caller).
+
+#ifndef GSTREAM_GFUNC_G0_H_
+#define GSTREAM_GFUNC_G0_H_
+
+#include "gfunc/catalog.h"
+#include "gfunc/properties.h"
+
+namespace gstream {
+
+// Wraps `base` (class G) into class G_0 by pinning g(0) = at_zero > 0.
+// The result is no longer in G (its Value(0) != 0); use it with the
+// Appendix A screens and the exact baselines, not with GSumEstimator.
+GFunctionPtr MakeG0Function(GFunctionPtr base, double at_zero);
+
+// Screens of Appendix A.2, evaluated on [0, domain_max].
+struct G0ScreenResult {
+  // Lemma 34/36: g takes both signs (non-linear) -> Omega(n).
+  bool crosses_axis = false;
+  int64_t negative_witness = 0;
+  // Proposition 37/38: g(x) = 0 for some x > 0.
+  bool has_zero_point = false;
+  int64_t zero_witness = 0;
+  // When a zero point exists: is g periodic with period 2 * zero_witness
+  // over the probed domain (the only escape Proposition 38 allows)?
+  bool periodic_escape = false;
+};
+
+G0ScreenResult ScreenG0(const GFunction& g, int64_t domain_max);
+
+// The Appendix A verdict: Omega(n) if the axis-crossing screen fires; the
+// Prop. 38 escape check if a zero point exists; otherwise the g(0)=0
+// zero-one law applied to the restriction to x >= 1 (Theorems 39-41
+// mirror Lemmas 23-25 exactly).
+struct G0Classification {
+  G0ScreenResult screen;
+  // Meaningful only when neither screen fires.
+  Verdict verdict = Verdict::kIntractable;
+  bool omega_n = false;  // true when the axis-crossing screen fired
+};
+
+G0Classification ClassifyG0(const GFunction& g,
+                            const PropertyCheckOptions& options);
+
+}  // namespace gstream
+
+#endif  // GSTREAM_GFUNC_G0_H_

@@ -1,0 +1,22 @@
+#include "gfunc/metric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gstream {
+
+double ThetaDistance(const GFunction& g, const GFunction& h, int64_t max_x) {
+  GSTREAM_CHECK_GE(max_x, 1);
+  double sup = 0.0;
+  for (int64_t x = 1; x <= max_x; ++x) {
+    const double gv = g.Value(x);
+    const double hv = h.Value(x);
+    GSTREAM_CHECK(gv > 0.0 && hv > 0.0);
+    sup = std::max(sup, std::fabs(std::log(gv) - std::log(hv)));
+  }
+  return sup;
+}
+
+}  // namespace gstream

@@ -1,0 +1,23 @@
+// The extended metric Theta on G (Appendix D.5):
+//
+//   Theta(g, h) = sup_x | log g(x) - log h(x) |.
+//
+// Proposition 63: slow-jumping/slow-dropping are stable under finite Theta
+// perturbations; Theorem 64: every S-nearly periodic function has a 1-pass
+// intractable function arbitrarily close to it.  Tests exercise both.
+
+#ifndef GSTREAM_GFUNC_METRIC_H_
+#define GSTREAM_GFUNC_METRIC_H_
+
+#include <cstdint>
+
+#include "gfunc/gfunction.h"
+
+namespace gstream {
+
+// Theta distance restricted to the finite domain [1, max_x].
+double ThetaDistance(const GFunction& g, const GFunction& h, int64_t max_x);
+
+}  // namespace gstream
+
+#endif  // GSTREAM_GFUNC_METRIC_H_

@@ -1,0 +1,219 @@
+#include "gfunc/properties.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace gstream {
+namespace {
+
+// Deterministic probe scales: 1..256 exhaustively, then a geometric grid
+// with each point's +-1/+-2 neighbors (the neighbors matter for functions
+// modulated at unit scale, e.g. (2+sin x) x^2 and g_np).
+std::vector<int64_t> ProbeScales(int64_t domain_max) {
+  std::vector<int64_t> scales;
+  for (int64_t v = 1; v <= std::min<int64_t>(256, domain_max); ++v) {
+    scales.push_back(v);
+  }
+  double v = 256.0;
+  while (v < static_cast<double>(domain_max)) {
+    v *= 1.04;
+    const int64_t base = static_cast<int64_t>(v);
+    for (int64_t d = -2; d <= 2; ++d) {
+      const int64_t s = base + d;
+      if (s >= 1 && s <= domain_max) scales.push_back(s);
+    }
+  }
+  std::sort(scales.begin(), scales.end());
+  scales.erase(std::unique(scales.begin(), scales.end()), scales.end());
+  return scales;
+}
+
+int64_t TableMax(const std::vector<double>& table) {
+  GSTREAM_CHECK_GE(table.size(), 3u);  // g(0), g(1), g(2) at least
+  return static_cast<int64_t>(table.size()) - 1;
+}
+
+}  // namespace
+
+PropertyResult CheckSlowJumping(const std::vector<double>& table,
+                                const PropertyCheckOptions& options) {
+  const int64_t domain = std::min(TableMax(table), options.domain_max);
+  const int64_t cutoff = domain / options.persistence_divisor;
+  PropertyResult worst;  // persistent violation with the largest y, if any
+  auto probe = [&](int64_t x, int64_t y) {
+    if (x < 1 || y <= x || y > domain || y < cutoff) return;
+    const double lhs = table[static_cast<size_t>(y)];
+    const double ratio = static_cast<double>(y / x);  // floor(y/x)
+    const double rhs = std::pow(ratio, 2.0 + options.alpha) *
+                       std::pow(static_cast<double>(x), options.alpha) *
+                       table[static_cast<size_t>(x)];
+    if (lhs > rhs && (worst.holds || y > worst.y)) {
+      worst = PropertyResult{false, x, y, lhs, rhs};
+    }
+  };
+  const std::vector<int64_t> scales = ProbeScales(domain);
+  for (int64_t y : scales) {
+    if (y < cutoff) continue;
+    for (int64_t x : scales) {
+      if (x >= y) break;
+      probe(x, y);
+    }
+  }
+  Rng rng(options.seed);
+  for (size_t i = 0; i < options.random_pairs; ++i) {
+    const int64_t y = rng.UniformInt(std::max<int64_t>(cutoff, 2), domain);
+    const int64_t x = rng.UniformInt(1, y - 1);
+    probe(x, y);
+  }
+  return worst;
+}
+
+PropertyResult CheckSlowDropping(const std::vector<double>& table,
+                                 const PropertyCheckOptions& options) {
+  const int64_t domain = std::min(TableMax(table), options.domain_max);
+  const int64_t cutoff = domain / options.persistence_divisor;
+  PropertyResult worst;
+  double prefix_max = table[1];
+  int64_t prefix_argmax = 1;
+  for (int64_t y = 2; y <= domain; ++y) {
+    const double gy = table[static_cast<size_t>(y)];
+    if (y >= cutoff) {
+      const double rhs = prefix_max / std::pow(static_cast<double>(y),
+                                               options.alpha);
+      if (gy < rhs) {
+        worst = PropertyResult{false, prefix_argmax, y, gy, rhs};
+      }
+    }
+    if (gy > prefix_max) {
+      prefix_max = gy;
+      prefix_argmax = y;
+    }
+  }
+  return worst;
+}
+
+PropertyResult CheckPredictable(const std::vector<double>& table,
+                                const PropertyCheckOptions& options) {
+  const int64_t domain = std::min(TableMax(table), options.domain_max);
+  const int64_t cutoff = domain / options.persistence_divisor;
+  PropertyResult worst;  // violation with the largest x
+  auto probe = [&](int64_t x, int64_t y) {
+    if (x < cutoff || y < 1) return;
+    const double y_limit = std::pow(static_cast<double>(x),
+                                    1.0 - options.gamma);
+    if (static_cast<double>(y) >= y_limit) return;
+    if (x + y > domain) return;
+    const double gx = table[static_cast<size_t>(x)];
+    const double gxy = table[static_cast<size_t>(x + y)];
+    if (std::fabs(gxy - gx) <= options.epsilon * gx) return;  // inside delta
+    const double gy = table[static_cast<size_t>(y)];
+    const double rhs =
+        std::pow(static_cast<double>(x), -options.gamma) * gx;
+    if (gy < rhs && (worst.holds || x > worst.x)) {
+      worst = PropertyResult{false, x, y, gy, rhs};
+    }
+  };
+  const std::vector<int64_t> scales = ProbeScales(domain);
+  Rng rng(options.seed);
+  for (int64_t x : scales) {
+    if (x < cutoff) continue;
+    const double y_limit =
+        std::pow(static_cast<double>(x), 1.0 - options.gamma);
+    for (int64_t y : scales) {
+      if (static_cast<double>(y) >= y_limit) break;
+      probe(x, y);
+    }
+    // Random offsets catch modulation phases the grid misses.
+    const int64_t y_max = std::max<int64_t>(
+        1, static_cast<int64_t>(y_limit) - 1);
+    for (int i = 0; i < 256; ++i) {
+      probe(x, rng.UniformInt(1, y_max));
+    }
+  }
+  for (size_t i = 0; i < options.random_pairs; ++i) {
+    const int64_t x = rng.UniformInt(std::max<int64_t>(cutoff, 2), domain);
+    const double y_limit =
+        std::pow(static_cast<double>(x), 1.0 - options.gamma);
+    const int64_t y_max =
+        std::max<int64_t>(1, static_cast<int64_t>(y_limit) - 1);
+    probe(x, rng.UniformInt(1, y_max));
+  }
+  return worst;
+}
+
+PropertyResult CheckNearlyPeriodic(const std::vector<double>& table,
+                                   const PropertyCheckOptions& options) {
+  const int64_t domain = std::min(TableMax(table), options.domain_max);
+  const int64_t cutoff = domain / options.persistence_divisor;
+
+  // Prefix maxima of g over [1, y).
+  std::vector<double> prefix_max(static_cast<size_t>(domain) + 1, 0.0);
+  double running = 0.0;
+  for (int64_t x = 1; x <= domain; ++x) {
+    prefix_max[static_cast<size_t>(x)] = running;  // max over [1, x)
+    running = std::max(running, table[static_cast<size_t>(x)]);
+  }
+
+  // Condition 1: persistent alpha-periods must exist.
+  const std::vector<int64_t> scales = ProbeScales(domain);
+  std::vector<int64_t> periods;
+  for (int64_t y : scales) {
+    if (y < cutoff || y > domain / 2) continue;  // need room for x + y <= D
+    const double gy = table[static_cast<size_t>(y)];
+    if (gy * std::pow(static_cast<double>(y), options.alpha) <=
+        prefix_max[static_cast<size_t>(y)]) {
+      periods.push_back(y);
+    }
+  }
+  if (periods.empty()) {
+    // Not nearly periodic: no persistent drop at all (condition 1 fails).
+    return PropertyResult{false, 0, 0, 0.0, 0.0};
+  }
+
+  // Condition 2: every large drop must be repaired: for alpha-periods y and
+  // x < y with g(x) >= g(y) y^alpha, |g(x+y) - g(x)| must be at most
+  // min(g(x), g(x+y)) * h(y) with h(y) = 1/log2(y).
+  for (int64_t y : periods) {
+    const double gy = table[static_cast<size_t>(y)];
+    const double threshold =
+        gy * std::pow(static_cast<double>(y), options.alpha);
+    const double h = 1.0 / std::log2(static_cast<double>(y));
+    for (int64_t x : scales) {
+      if (x >= y) break;
+      const double gx = table[static_cast<size_t>(x)];
+      if (gx < threshold) continue;
+      const double gxy = table[static_cast<size_t>(x + y)];
+      if (std::fabs(gxy - gx) > std::min(gx, gxy) * h) {
+        return PropertyResult{false, x, y, std::fabs(gxy - gx),
+                              std::min(gx, gxy) * h};
+      }
+    }
+  }
+  PropertyResult ok;
+  ok.holds = true;
+  ok.y = periods.back();
+  return ok;
+}
+
+PropertyResult CheckSlowJumping(const GFunction& g,
+                                const PropertyCheckOptions& options) {
+  return CheckSlowJumping(EvaluateTable(g, options.domain_max), options);
+}
+PropertyResult CheckSlowDropping(const GFunction& g,
+                                 const PropertyCheckOptions& options) {
+  return CheckSlowDropping(EvaluateTable(g, options.domain_max), options);
+}
+PropertyResult CheckPredictable(const GFunction& g,
+                                const PropertyCheckOptions& options) {
+  return CheckPredictable(EvaluateTable(g, options.domain_max), options);
+}
+PropertyResult CheckNearlyPeriodic(const GFunction& g,
+                                   const PropertyCheckOptions& options) {
+  return CheckNearlyPeriodic(EvaluateTable(g, options.domain_max), options);
+}
+
+}  // namespace gstream

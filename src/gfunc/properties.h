@@ -1,0 +1,91 @@
+// Empirical checkers for the paper's three characterizing properties
+// (Definitions 6, 7, 8) and for the nearly periodic screen (Definition 9).
+//
+// The definitions are asymptotic ("for all alpha > 0 there exists N ...").
+// On a finite domain [1, D] we instantiate them as follows:
+//
+//   * A fixed probe exponent `alpha` (and, for predictability, a fixed
+//     gamma and a fixed relative-accuracy epsilon) is tested.
+//   * A violation at scale y (resp. x) counts only as evidence of failure
+//     if violations *persist* into the top of the domain: the property
+//     "holds" iff no violation occurs at scale >= D / persistence_divisor.
+//     This mirrors "there exists N such that for all y >= N" -- violations
+//     that die out below the cutoff are the finite prefix the definition
+//     permits.
+//
+// Slow-dropping is checked exactly (O(D) via prefix maxima).  Slow-jumping
+// and predictability quantify over pairs, so they are checked on a dense
+// deterministic grid plus uniform random pairs; for every catalog function
+// the violating sets are wide intervals, which the sampling hits with
+// overwhelming probability (see tests).
+
+#ifndef GSTREAM_GFUNC_PROPERTIES_H_
+#define GSTREAM_GFUNC_PROPERTIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gfunc/gfunction.h"
+
+namespace gstream {
+
+struct PropertyCheckOptions {
+  // Upper end D of the probed domain [1, D].
+  int64_t domain_max = int64_t{1} << 20;
+  // Exponent alpha probed in Definitions 6, 7, 9.
+  double alpha = 0.25;
+  // Gamma and epsilon probed in Definition 8 (predictability).
+  double gamma = 0.3;
+  double epsilon = 0.25;
+  // Violations at scales below domain_max / persistence_divisor are treated
+  // as the finite prefix allowed by the asymptotic definitions.
+  int64_t persistence_divisor = 4;
+  // Number of uniformly random probe pairs added to the deterministic grid.
+  size_t random_pairs = 50000;
+  // Seed for the random probes (checkers are deterministic given the seed).
+  uint64_t seed = 0x5eed;
+};
+
+// Outcome of a property check.  When `holds` is false, (x, y) is a
+// persistent violating pair and lhs/rhs are the two sides of the failed
+// inequality.
+struct PropertyResult {
+  bool holds = true;
+  int64_t x = 0;
+  int64_t y = 0;
+  double lhs = 0.0;
+  double rhs = 0.0;
+};
+
+// Definition 6: g(y) <= floor(y/x)^{2+alpha} x^alpha g(x) for all x < y.
+PropertyResult CheckSlowJumping(const std::vector<double>& table,
+                                const PropertyCheckOptions& options);
+
+// Definition 7: g(y) >= g(x) / y^alpha for all x < y.  Exact scan.
+PropertyResult CheckSlowDropping(const std::vector<double>& table,
+                                 const PropertyCheckOptions& options);
+
+// Definition 8: for x >= N and y in [1, x^{1-gamma}), if
+// |g(x+y) - g(x)| > epsilon g(x) then g(y) >= x^{-gamma} g(x).
+PropertyResult CheckPredictable(const std::vector<double>& table,
+                                const PropertyCheckOptions& options);
+
+// Definition 9 screen, applied when slow-dropping fails: are all persistent
+// alpha-period drops "repaired" by near-periodicity?  Checks condition 2
+// with the error function h(y) = 1 / log2(y).
+PropertyResult CheckNearlyPeriodic(const std::vector<double>& table,
+                                   const PropertyCheckOptions& options);
+
+// Convenience overloads evaluating `g` over [0, options.domain_max].
+PropertyResult CheckSlowJumping(const GFunction& g,
+                                const PropertyCheckOptions& options);
+PropertyResult CheckSlowDropping(const GFunction& g,
+                                 const PropertyCheckOptions& options);
+PropertyResult CheckPredictable(const GFunction& g,
+                                const PropertyCheckOptions& options);
+PropertyResult CheckNearlyPeriodic(const GFunction& g,
+                                   const PropertyCheckOptions& options);
+
+}  // namespace gstream
+
+#endif  // GSTREAM_GFUNC_PROPERTIES_H_

@@ -1,0 +1,90 @@
+#include "gfunc/transforms.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gstream {
+namespace {
+
+class LEtaG : public GFunction {
+ public:
+  LEtaG(GFunctionPtr base, double eta) : base_(std::move(base)), eta_(eta) {
+    scale_ = 1.0 / (base_->Value(1) * std::pow(std::log(2.0), eta_));
+  }
+
+  double Value(int64_t x) const override {
+    if (x == 0) return 0.0;
+    return base_->Value(x) *
+           std::pow(std::log(1.0 + static_cast<double>(x)), eta_) * scale_;
+  }
+
+  std::string name() const override {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "L_%.2f(%s)", eta_,
+                  base_->name().c_str());
+    return buf;
+  }
+
+ private:
+  GFunctionPtr base_;
+  double eta_;
+  double scale_;
+};
+
+class OverrideG : public GFunction {
+ public:
+  OverrideG(GFunctionPtr base, std::unordered_map<int64_t, double> overrides)
+      : base_(std::move(base)), overrides_(std::move(overrides)) {
+    for (const auto& [x, v] : overrides_) {
+      GSTREAM_CHECK_GE(x, 1);
+      GSTREAM_CHECK(v > 0.0);
+    }
+  }
+
+  double Value(int64_t x) const override {
+    const auto it = overrides_.find(x);
+    if (it != overrides_.end()) return it->second;
+    return base_->Value(x);
+  }
+
+  std::string name() const override {
+    return "override(" + base_->name() + ")";
+  }
+
+ private:
+  GFunctionPtr base_;
+  std::unordered_map<int64_t, double> overrides_;
+};
+
+}  // namespace
+
+GFunctionPtr MakeLEtaTransform(GFunctionPtr base, double eta) {
+  GSTREAM_CHECK(base != nullptr);
+  GSTREAM_CHECK(eta >= 0.0);
+  return std::make_shared<LEtaG>(std::move(base), eta);
+}
+
+GFunctionPtr MakeOverrideG(GFunctionPtr base,
+                           std::unordered_map<int64_t, double> overrides) {
+  GSTREAM_CHECK(base != nullptr);
+  return std::make_shared<OverrideG>(std::move(base), std::move(overrides));
+}
+
+GFunctionPtr MakeTheorem64Perturbation(
+    GFunctionPtr base,
+    const std::vector<std::pair<int64_t, int64_t>>& period_pairs,
+    double delta) {
+  GSTREAM_CHECK(base != nullptr);
+  GSTREAM_CHECK(delta > 0.0);
+  std::unordered_map<int64_t, double> overrides;
+  for (const auto& [x, y] : period_pairs) {
+    GSTREAM_CHECK_GE(x, 1);
+    GSTREAM_CHECK_GT(y, x);
+    overrides[x] = base->Value(x) * (1.0 + delta);
+    overrides[x + y] = base->Value(x + y) / (1.0 + delta);
+  }
+  return MakeOverrideG(std::move(base), std::move(overrides));
+}
+
+}  // namespace gstream

@@ -1,0 +1,40 @@
+// Function transformations from the paper's Appendix D.3/D.5.
+
+#ifndef GSTREAM_GFUNC_TRANSFORMS_H_
+#define GSTREAM_GFUNC_TRANSFORMS_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "gfunc/catalog.h"
+
+namespace gstream {
+
+// The L_eta transform of Definition 55: L_eta(g)(x) = g(x) log^eta(1+x),
+// renormalized so the result is back in class G (g(1) = 1).  Theorem 31:
+// preserves 1-pass tractability of S-normal functions; Theorem 30: breaks
+// tractability of every nearly periodic function.
+GFunctionPtr MakeLEtaTransform(GFunctionPtr base, double eta);
+
+// A pointwise-overridden copy of `base`: h(x) = overrides[x] where present,
+// h(x) = base(x) elsewhere.  This is the perturbation device of Theorem 64
+// (Appendix D.5): overriding a nearly periodic g at its period pairs by a
+// (1 + delta) factor yields a 1-pass-intractable h at Theta-distance
+// log(1 + delta) from g.
+GFunctionPtr MakeOverrideG(GFunctionPtr base,
+                           std::unordered_map<int64_t, double> overrides);
+
+// Builds the Theorem 64 perturbation: for each (x_k, y_k) period pair,
+// h(x_k) = (1+delta) g(x_k) and h(x_k + y_k) = g(x_k + y_k) / (1+delta).
+// (The paper's statement writes g(y_k)/(1+delta) for the second override;
+// we divide the base value at x_k + y_k instead, which keeps
+// Theta(g, h) = log(1+delta) exactly while still breaking near-periodicity
+// -- the drop between h(x_k) and h(x_k + y_k) is (1+delta)^2 > 1 + delta.)
+GFunctionPtr MakeTheorem64Perturbation(
+    GFunctionPtr base,
+    const std::vector<std::pair<int64_t, int64_t>>& period_pairs,
+    double delta);
+
+}  // namespace gstream
+
+#endif  // GSTREAM_GFUNC_TRANSFORMS_H_

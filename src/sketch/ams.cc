@@ -1,0 +1,61 @@
+#include "sketch/ams.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gstream {
+
+AmsSketch::AmsSketch(const AmsOptions& options, Rng& rng)
+    : options_(options) {
+  GSTREAM_CHECK_GE(options.group_size, 1u);
+  GSTREAM_CHECK_GE(options.groups, 1u);
+  const size_t total = options.group_size * options.groups;
+  sign_hashes_.reserve(total);
+  for (size_t i = 0; i < total; ++i) sign_hashes_.emplace_back(rng);
+  sums_.assign(total, 0);
+  uint64_t fp = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < total; ++i) {
+    fp = (fp ^ static_cast<uint64_t>(sign_hashes_[i](1) + 2)) *
+         0x100000001b3ULL;
+    fp = (fp ^ static_cast<uint64_t>(sign_hashes_[i](0x9e3779b9) + 2)) *
+         0x100000001b3ULL;
+  }
+  hash_fingerprint_ = fp;
+}
+
+void AmsSketch::MergeFrom(const AmsSketch& other) {
+  GSTREAM_CHECK_EQ(options_.group_size, other.options_.group_size);
+  GSTREAM_CHECK_EQ(options_.groups, other.options_.groups);
+  GSTREAM_CHECK_EQ(hash_fingerprint_, other.hash_fingerprint_);
+  for (size_t i = 0; i < sums_.size(); ++i) sums_[i] += other.sums_[i];
+}
+
+void AmsSketch::Update(ItemId item, int64_t delta) {
+  for (size_t i = 0; i < sums_.size(); ++i) {
+    sums_[i] += static_cast<int64_t>(sign_hashes_[i](item)) * delta;
+  }
+}
+
+double AmsSketch::EstimateF2() const {
+  std::vector<double> group_means(options_.groups);
+  for (size_t grp = 0; grp < options_.groups; ++grp) {
+    double mean = 0.0;
+    for (size_t e = 0; e < options_.group_size; ++e) {
+      const double z =
+          static_cast<double>(sums_[grp * options_.group_size + e]);
+      mean += z * z;
+    }
+    group_means[grp] = mean / static_cast<double>(options_.group_size);
+  }
+  std::sort(group_means.begin(), group_means.end());
+  return group_means[group_means.size() / 2];
+}
+
+size_t AmsSketch::SpaceBytes() const {
+  size_t bytes = sums_.size() * sizeof(int64_t);
+  for (const SignHash& h : sign_hashes_) bytes += h.SpaceBytes();
+  return bytes;
+}
+
+}  // namespace gstream

@@ -1,0 +1,52 @@
+// The AMS F2 sketch (Alon, Matias, Szegedy 1996), used by the one-pass
+// heavy-hitter algorithm (Algorithm 2 of the paper) to bound the
+// CountSketch error via sqrt(F2-hat).
+//
+// Median of `groups` means of `group_size` atomic estimators; each atomic
+// estimator is Z = sum_i s(i) v_i with a 4-wise sign hash, and E[Z^2] = F2,
+// Var[Z^2] <= 2 F2^2.  With group_size = O(1/eps^2) and groups = O(log
+// 1/delta) the estimate is within (1 +- eps) F2 with probability 1 - delta.
+
+#ifndef GSTREAM_SKETCH_AMS_H_
+#define GSTREAM_SKETCH_AMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/linear_sketch.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace gstream {
+
+struct AmsOptions {
+  size_t group_size = 16;  // estimators averaged per group (~1/eps^2)
+  size_t groups = 5;       // groups medianed (~log 1/delta)
+};
+
+class AmsSketch : public LinearSketch {
+ public:
+  AmsSketch(const AmsOptions& options, Rng& rng);
+
+  void Update(ItemId item, int64_t delta) override;
+
+  // Median-of-means F2 estimate.
+  double EstimateF2() const;
+
+  // Adds another sketch's sums into this one; both must come from
+  // equal-state Rngs (fingerprint-checked), mirroring
+  // CountSketch::MergeFrom.
+  void MergeFrom(const AmsSketch& other);
+
+  size_t SpaceBytes() const override;
+
+ private:
+  AmsOptions options_;
+  std::vector<SignHash> sign_hashes_;  // group_size * groups
+  std::vector<int64_t> sums_;          // Z per estimator
+  uint64_t hash_fingerprint_ = 0;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_SKETCH_AMS_H_

@@ -1,0 +1,69 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace gstream {
+
+CountMinSketch::CountMinSketch(const CountMinOptions& options, Rng& rng)
+    : options_(options) {
+  GSTREAM_CHECK_GE(options.rows, 1u);
+  GSTREAM_CHECK_GE(options.buckets, 1u);
+  bucket_hashes_.reserve(options.rows);
+  for (size_t j = 0; j < options.rows; ++j) {
+    bucket_hashes_.emplace_back(/*k=*/2, options.buckets, rng);
+  }
+  counters_.assign(options.rows * options.buckets, 0);
+  uint64_t fp = 0xcbf29ce484222325ULL;
+  for (size_t j = 0; j < options.rows; ++j) {
+    for (uint64_t probe : {uint64_t{1}, uint64_t{0x9e3779b9}}) {
+      fp = (fp ^ bucket_hashes_[j](probe)) * 0x100000001b3ULL;
+    }
+  }
+  hash_fingerprint_ = fp;
+}
+
+void CountMinSketch::MergeFrom(const CountMinSketch& other) {
+  GSTREAM_CHECK_EQ(options_.rows, other.options_.rows);
+  GSTREAM_CHECK_EQ(options_.buckets, other.options_.buckets);
+  GSTREAM_CHECK_EQ(hash_fingerprint_, other.hash_fingerprint_);
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
+void CountMinSketch::Update(ItemId item, int64_t delta) {
+  for (size_t j = 0; j < options_.rows; ++j) {
+    counters_[j * options_.buckets + bucket_hashes_[j](item)] += delta;
+  }
+}
+
+int64_t CountMinSketch::EstimateMin(ItemId item) const {
+  int64_t best = std::numeric_limits<int64_t>::max();
+  for (size_t j = 0; j < options_.rows; ++j) {
+    best = std::min(best,
+                    counters_[j * options_.buckets + bucket_hashes_[j](item)]);
+  }
+  return best;
+}
+
+int64_t CountMinSketch::EstimateMedian(ItemId item) const {
+  std::vector<int64_t> row(options_.rows);
+  for (size_t j = 0; j < options_.rows; ++j) {
+    row[j] = counters_[j * options_.buckets + bucket_hashes_[j](item)];
+  }
+  std::nth_element(row.begin(),
+                   row.begin() + static_cast<ptrdiff_t>(row.size() / 2),
+                   row.end());
+  return row[row.size() / 2];
+}
+
+size_t CountMinSketch::SpaceBytes() const {
+  size_t bytes = counters_.size() * sizeof(int64_t);
+  for (const BucketHash& h : bucket_hashes_) bytes += h.SpaceBytes();
+  return bytes;
+}
+
+}  // namespace gstream

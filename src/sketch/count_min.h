@@ -1,0 +1,53 @@
+// Count-Min sketch (Cormode, Muthukrishnan 2005): the standard baseline
+// frequency estimator we compare CountSketch against in the sketch
+// micro-benchmarks (experiment E9).
+//
+// r x b counters with pairwise bucket hashes.  In the insertion-only model
+// EstimateMin overestimates by at most F1/b with probability 1-2^{-r}; in
+// the general turnstile model EstimateMedian is the appropriate decode.
+
+#ifndef GSTREAM_SKETCH_COUNT_MIN_H_
+#define GSTREAM_SKETCH_COUNT_MIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/linear_sketch.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace gstream {
+
+struct CountMinOptions {
+  size_t rows = 5;
+  size_t buckets = 256;
+};
+
+class CountMinSketch : public LinearSketch {
+ public:
+  CountMinSketch(const CountMinOptions& options, Rng& rng);
+
+  void Update(ItemId item, int64_t delta) override;
+
+  // Min-of-rows decode (valid upper bound in the insertion-only model).
+  int64_t EstimateMin(ItemId item) const;
+
+  // Median-of-rows decode (turnstile-safe).
+  int64_t EstimateMedian(ItemId item) const;
+
+  // Adds another sketch's counters; both must come from equal-state Rngs
+  // (fingerprint-checked), as in CountSketch::MergeFrom.
+  void MergeFrom(const CountMinSketch& other);
+
+  size_t SpaceBytes() const override;
+
+ private:
+  CountMinOptions options_;
+  std::vector<BucketHash> bucket_hashes_;
+  std::vector<int64_t> counters_;
+  uint64_t hash_fingerprint_ = 0;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_SKETCH_COUNT_MIN_H_

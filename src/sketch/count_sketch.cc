@@ -1,0 +1,137 @@
+#include "sketch/count_sketch.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace gstream {
+namespace {
+
+// Median of a small scratch vector (destroys order).
+template <typename T>
+T MedianInPlace(std::vector<T>& v) {
+  GSTREAM_CHECK(!v.empty());
+  const size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(mid),
+                   v.end());
+  return v[mid];
+}
+
+}  // namespace
+
+CountSketch::CountSketch(const CountSketchOptions& options, Rng& rng)
+    : options_(options) {
+  GSTREAM_CHECK_GE(options.rows, 1u);
+  GSTREAM_CHECK_GE(options.buckets, 1u);
+  bucket_hashes_.reserve(options.rows);
+  sign_hashes_.reserve(options.rows);
+  for (size_t j = 0; j < options.rows; ++j) {
+    bucket_hashes_.emplace_back(/*k=*/2, options.buckets, rng);
+    sign_hashes_.emplace_back(rng);
+  }
+  counters_.assign(options.rows * options.buckets, 0);
+  // Fingerprint the drawn hash functions by probing them; two sketches
+  // share hashes iff they were constructed from equal-state Rngs.
+  uint64_t fp = 0xcbf29ce484222325ULL;
+  for (size_t j = 0; j < options.rows; ++j) {
+    for (uint64_t probe : {uint64_t{1}, uint64_t{0x9e3779b9}}) {
+      fp = (fp ^ bucket_hashes_[j](probe)) * 0x100000001b3ULL;
+      fp = (fp ^ static_cast<uint64_t>(sign_hashes_[j](probe) + 2)) *
+           0x100000001b3ULL;
+    }
+  }
+  hash_fingerprint_ = fp;
+}
+
+void CountSketch::MergeFrom(const CountSketch& other) {
+  GSTREAM_CHECK_EQ(options_.rows, other.options_.rows);
+  GSTREAM_CHECK_EQ(options_.buckets, other.options_.buckets);
+  GSTREAM_CHECK_EQ(hash_fingerprint_, other.hash_fingerprint_);
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
+void CountSketch::Update(ItemId item, int64_t delta) {
+  for (size_t j = 0; j < options_.rows; ++j) {
+    const uint64_t bucket = bucket_hashes_[j](item);
+    counters_[j * options_.buckets + bucket] +=
+        static_cast<int64_t>(sign_hashes_[j](item)) * delta;
+  }
+}
+
+int64_t CountSketch::Estimate(ItemId item) const {
+  std::vector<int64_t> row_estimates(options_.rows);
+  for (size_t j = 0; j < options_.rows; ++j) {
+    const uint64_t bucket = bucket_hashes_[j](item);
+    row_estimates[j] = static_cast<int64_t>(sign_hashes_[j](item)) *
+                       counters_[j * options_.buckets + bucket];
+  }
+  return MedianInPlace(row_estimates);
+}
+
+double CountSketch::EstimateF2() const {
+  std::vector<double> row_estimates(options_.rows);
+  for (size_t j = 0; j < options_.rows; ++j) {
+    double sum = 0.0;
+    for (size_t b = 0; b < options_.buckets; ++b) {
+      const double c =
+          static_cast<double>(counters_[j * options_.buckets + b]);
+      sum += c * c;
+    }
+    row_estimates[j] = sum;
+  }
+  return MedianInPlace(row_estimates);
+}
+
+size_t CountSketch::SpaceBytes() const {
+  size_t bytes = counters_.size() * sizeof(int64_t);
+  for (const BucketHash& h : bucket_hashes_) bytes += h.SpaceBytes();
+  for (const SignHash& h : sign_hashes_) bytes += h.SpaceBytes();
+  return bytes;
+}
+
+CountSketchTopK::CountSketchTopK(const CountSketchOptions& options, size_t k,
+                                 Rng& rng)
+    : sketch_(options, rng), k_(k) {
+  GSTREAM_CHECK_GE(k, 1u);
+}
+
+void CountSketchTopK::Update(ItemId item, int64_t delta) {
+  sketch_.Update(item, delta);
+  Refresh(item);
+}
+
+void CountSketchTopK::Refresh(ItemId item) {
+  const int64_t est = sketch_.Estimate(item);
+  candidates_[item] = est;
+  if (candidates_.size() <= 2 * k_) return;
+  // Evict the weakest candidate (by |estimate|).  Linear scan over <= 2k+1
+  // entries; k is small in every configuration we run.
+  auto weakest = candidates_.begin();
+  for (auto it = candidates_.begin(); it != candidates_.end(); ++it) {
+    if (std::llabs(it->second) < std::llabs(weakest->second)) weakest = it;
+  }
+  candidates_.erase(weakest);
+}
+
+std::vector<std::pair<ItemId, int64_t>> CountSketchTopK::TopK() const {
+  std::vector<std::pair<ItemId, int64_t>> out(candidates_.begin(),
+                                              candidates_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    const int64_t aa = std::llabs(a.second);
+    const int64_t bb = std::llabs(b.second);
+    if (aa != bb) return aa > bb;
+    return a.first < b.first;
+  });
+  if (out.size() > k_) out.resize(k_);
+  return out;
+}
+
+size_t CountSketchTopK::SpaceBytes() const {
+  return sketch_.SpaceBytes() +
+         candidates_.size() * (sizeof(ItemId) + sizeof(int64_t));
+}
+
+}  // namespace gstream

@@ -1,0 +1,98 @@
+// CountSketch (Charikar, Chen, Farach-Colton 2002), the heavy-hitter
+// workhorse of the paper's upper bounds (Section 3.1).
+//
+// An r x b array of counters; row j adds s_j(i) * delta to counter
+// (j, h_j(i)).  The point estimate of v_i is the median over rows of
+// s_j(i) * C[j][h_j(i)], with error O(sqrt(F2 / b)) per query with
+// probability 1 - 2^{-Omega(r)}.
+//
+// Two decoding modes are provided:
+//   * TrackTopK: a running candidate set maintained during the stream (the
+//     standard CountSketch-with-heap construction) -- a genuine one-pass
+//     streaming algorithm.
+//   * EstimateAll over an explicit candidate list -- used by tests.
+
+#ifndef GSTREAM_SKETCH_COUNT_SKETCH_H_
+#define GSTREAM_SKETCH_COUNT_SKETCH_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/linear_sketch.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace gstream {
+
+struct CountSketchOptions {
+  size_t rows = 5;       // r: drives the failure probability 2^{-Omega(r)}
+  size_t buckets = 256;  // b: drives the error sqrt(F2 / b)
+};
+
+class CountSketch : public LinearSketch {
+ public:
+  CountSketch(const CountSketchOptions& options, Rng& rng);
+
+  void Update(ItemId item, int64_t delta) override;
+
+  // Adds another sketch's counters into this one.  Both sketches must have
+  // been constructed with the same geometry from equal-state Rngs (same
+  // seed), so they share hash functions; this is checked via a fingerprint
+  // of the hash coefficients.  Linearity makes the merged sketch identical
+  // to one that processed both streams -- the basis for distributed
+  // aggregation (map shards, merge, decode once).
+  void MergeFrom(const CountSketch& other);
+
+  // Median-of-rows point estimate of v_item.
+  int64_t Estimate(ItemId item) const;
+
+  // Per-row F2 estimate (sum of squared counters is unbiased for F2);
+  // returns the median across rows.  Coarser than a dedicated AMS sketch
+  // but free given the structure.
+  double EstimateF2() const;
+
+  size_t SpaceBytes() const override;
+
+  size_t rows() const { return options_.rows; }
+  size_t buckets() const { return options_.buckets; }
+
+ private:
+  CountSketchOptions options_;
+  std::vector<BucketHash> bucket_hashes_;  // one per row, 2-wise
+  std::vector<SignHash> sign_hashes_;      // one per row, 4-wise
+  std::vector<int64_t> counters_;          // rows * buckets, row-major
+  uint64_t hash_fingerprint_ = 0;          // guards MergeFrom
+};
+
+// CountSketch plus a running top-k candidate tracker: after each update the
+// touched item's estimate is refreshed and the best k estimates (by
+// absolute value) are retained.  This is the classic streaming heavy-hitter
+// decode; with deletions an item whose estimate later collapses is evicted.
+class CountSketchTopK : public LinearSketch {
+ public:
+  CountSketchTopK(const CountSketchOptions& options, size_t k, Rng& rng);
+
+  void Update(ItemId item, int64_t delta) override;
+
+  // The current candidates, sorted by decreasing |estimate|.
+  std::vector<std::pair<ItemId, int64_t>> TopK() const;
+
+  const CountSketch& sketch() const { return sketch_; }
+
+  size_t SpaceBytes() const override;
+
+ private:
+  void Refresh(ItemId item);
+
+  CountSketch sketch_;
+  size_t k_;
+  // Candidate -> current estimate.  Size capped at 2k (hysteresis band so
+  // borderline items are not thrashed in and out).
+  std::unordered_map<ItemId, int64_t> candidates_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_SKETCH_COUNT_SKETCH_H_

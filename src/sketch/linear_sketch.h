@@ -1,0 +1,37 @@
+// Common interface for the linear sketches in this library.
+//
+// A linear sketch maintains a state that is a linear function of the
+// frequency vector: processing update (i, delta) adds delta times item i's
+// column.  All sketches report their space honestly via SpaceBytes() --
+// counters plus hash-function coefficients -- which is the quantity the
+// space-complexity experiments sweep.
+
+#ifndef GSTREAM_SKETCH_LINEAR_SKETCH_H_
+#define GSTREAM_SKETCH_LINEAR_SKETCH_H_
+
+#include <cstddef>
+
+#include "stream/stream.h"
+
+namespace gstream {
+
+class LinearSketch {
+ public:
+  virtual ~LinearSketch() = default;
+
+  // Processes one turnstile update.
+  virtual void Update(ItemId item, int64_t delta) = 0;
+
+  // Bytes of state: counters plus hash seeds.  Excludes transient query
+  // scratch space.
+  virtual size_t SpaceBytes() const = 0;
+};
+
+// Feeds every update of `stream` into `sketch` (one pass).
+inline void ProcessStream(LinearSketch& sketch, const Stream& stream) {
+  for (const Update& u : stream.updates()) sketch.Update(u.item, u.delta);
+}
+
+}  // namespace gstream
+
+#endif  // GSTREAM_SKETCH_LINEAR_SKETCH_H_

@@ -1,0 +1,28 @@
+#include "sketch/subsampler.h"
+
+#include "util/logging.h"
+
+namespace gstream {
+
+NestedSubsampler::NestedSubsampler(int max_level, Rng& rng) {
+  GSTREAM_CHECK_GE(max_level, 0);
+  level_hashes_.reserve(static_cast<size_t>(max_level));
+  for (int l = 0; l < max_level; ++l) level_hashes_.emplace_back(rng);
+}
+
+int NestedSubsampler::LevelOf(ItemId item) const {
+  int level = 0;
+  for (const BernoulliHash& h : level_hashes_) {
+    if (!h(item)) break;
+    ++level;
+  }
+  return level;
+}
+
+size_t NestedSubsampler::SpaceBytes() const {
+  size_t bytes = 0;
+  for (const BernoulliHash& h : level_hashes_) bytes += h.SpaceBytes();
+  return bytes;
+}
+
+}  // namespace gstream

@@ -1,0 +1,45 @@
+// Nested pairwise-independent subsampling, the layering device of
+// Indyk-Woodruff and the Braverman-Ostrovsky recursive sketch (paper
+// Theorem 13).
+//
+// Level 0 contains every item; an item in level l survives to level l+1
+// with probability 1/2, decided by an independent pairwise Bernoulli hash
+// per level, so S_0 superset S_1 superset ... superset S_L and
+// E|S_l| = n / 2^l.  LevelOf(i) returns the deepest level containing i in
+// O(LevelOf(i)) hash evaluations -- O(1) in expectation.
+
+#ifndef GSTREAM_SKETCH_SUBSAMPLER_H_
+#define GSTREAM_SKETCH_SUBSAMPLER_H_
+
+#include <vector>
+
+#include "stream/stream.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace gstream {
+
+class NestedSubsampler {
+ public:
+  // `max_level` L >= 0: levels 0..L are available.
+  NestedSubsampler(int max_level, Rng& rng);
+
+  // Deepest level whose sample contains `item`, in [0, max_level].
+  int LevelOf(ItemId item) const;
+
+  // True iff `item` survives to `level`.
+  bool InLevel(ItemId item, int level) const {
+    return LevelOf(item) >= level;
+  }
+
+  int max_level() const { return static_cast<int>(level_hashes_.size()); }
+
+  size_t SpaceBytes() const;
+
+ private:
+  std::vector<BernoulliHash> level_hashes_;  // one per level 1..L
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_SKETCH_SUBSAMPLER_H_

@@ -1,0 +1,55 @@
+#include "stream/exact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace gstream {
+
+double ExactGSum(const FrequencyMap& freq, const GCallable& g) {
+  double sum = 0.0;
+  for (const auto& [item, value] : freq) {
+    if (value != 0) sum += g(std::llabs(value));
+  }
+  return sum;
+}
+
+double ExactMoment(const FrequencyMap& freq, double p) {
+  double sum = 0.0;
+  for (const auto& [item, value] : freq) {
+    if (value == 0) continue;
+    sum += (p == 0.0)
+               ? 1.0
+               : std::pow(static_cast<double>(std::llabs(value)), p);
+  }
+  return sum;
+}
+
+std::vector<std::pair<ItemId, int64_t>> ExactGHeavyHitters(
+    const FrequencyMap& freq, const GCallable& g, double lambda) {
+  const double total = ExactGSum(freq, g);
+  std::vector<std::pair<ItemId, int64_t>> heavy;
+  for (const auto& [item, value] : freq) {
+    if (value == 0) continue;
+    const double gv = g(std::llabs(value));
+    if (gv >= lambda * (total - gv)) heavy.emplace_back(item, value);
+  }
+  std::sort(heavy.begin(), heavy.end(),
+            [&](const auto& a, const auto& b) {
+              const double ga = g(std::llabs(a.second));
+              const double gb = g(std::llabs(b.second));
+              if (ga != gb) return ga > gb;
+              return a.first < b.first;
+            });
+  return heavy;
+}
+
+int64_t MaxAbsFrequency(const FrequencyMap& freq) {
+  int64_t max_abs = 0;
+  for (const auto& [item, value] : freq) {
+    max_abs = std::max<int64_t>(max_abs, std::llabs(value));
+  }
+  return max_abs;
+}
+
+}  // namespace gstream

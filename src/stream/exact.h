@@ -1,0 +1,37 @@
+// Exact (non-streaming) baselines: ground truth for every experiment.
+
+#ifndef GSTREAM_STREAM_EXACT_H_
+#define GSTREAM_STREAM_EXACT_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "stream/stream.h"
+
+namespace gstream {
+
+// A function of one variable applied to |v_i|; implementations come from
+// gfunc/ but exact computation only needs the call signature.
+using GCallable = std::function<double(int64_t)>;
+
+// Exact g-SUM: sum_i g(|v_i|) over nonzero frequencies (g(0)=0 by the
+// paper's normalization, so zero frequencies contribute nothing).
+double ExactGSum(const FrequencyMap& freq, const GCallable& g);
+
+// Exact frequency moment F_p = sum |v_i|^p (p >= 0; F_0 counts distinct
+// items with nonzero frequency).
+double ExactMoment(const FrequencyMap& freq, double p);
+
+// Items that are (g, lambda)-heavy per Definition 11: g(|v_j|) >=
+// lambda * sum_{i != j} g(|v_i|).  Returned sorted by decreasing g-value.
+std::vector<std::pair<ItemId, int64_t>> ExactGHeavyHitters(
+    const FrequencyMap& freq, const GCallable& g, double lambda);
+
+// Largest |v_i| in the final frequency vector.
+int64_t MaxAbsFrequency(const FrequencyMap& freq);
+
+}  // namespace gstream
+
+#endif  // GSTREAM_STREAM_EXACT_H_

@@ -1,0 +1,170 @@
+#include "stream/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace gstream {
+namespace {
+
+// Picks `count` distinct item ids uniformly from [0, domain).
+std::vector<ItemId> SampleDistinctIds(uint64_t domain, size_t count,
+                                      Rng& rng) {
+  GSTREAM_CHECK_LE(count, domain);
+  // For dense requests, shuffle a prefix of the full id range; for sparse
+  // ones, rejection-sample into a set.
+  if (count * 2 >= domain) {
+    std::vector<ItemId> ids(domain);
+    for (uint64_t i = 0; i < domain; ++i) ids[i] = i;
+    for (size_t i = 0; i < count; ++i) {
+      const size_t j = i + static_cast<size_t>(rng.UniformUint64(domain - i));
+      std::swap(ids[i], ids[j]);
+    }
+    ids.resize(count);
+    return ids;
+  }
+  std::unordered_set<ItemId> chosen;
+  chosen.reserve(count * 2);
+  std::vector<ItemId> ids;
+  ids.reserve(count);
+  while (ids.size() < count) {
+    const ItemId id = rng.UniformUint64(domain);
+    if (chosen.insert(id).second) ids.push_back(id);
+  }
+  return ids;
+}
+
+void ShuffleUpdates(std::vector<Update>& updates, Rng& rng) {
+  for (size_t i = updates.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(rng.UniformUint64(i));
+    std::swap(updates[i - 1], updates[j]);
+  }
+}
+
+}  // namespace
+
+Workload MakeStreamFromFrequencies(uint64_t domain, const FrequencyMap& freq,
+                                   const StreamShapeOptions& options,
+                                   Rng& rng) {
+  std::vector<Update> updates;
+  for (const auto& [item, value] : freq) {
+    GSTREAM_CHECK_LT(item, domain);
+    if (value == 0) continue;
+    if (options.unit_updates) {
+      const int64_t step = value > 0 ? 1 : -1;
+      for (int64_t k = 0; k != value; k += step) {
+        updates.push_back(Update{item, step});
+      }
+    } else {
+      updates.push_back(Update{item, value});
+    }
+  }
+  for (size_t c = 0; c < options.churn_pairs; ++c) {
+    const ItemId id = rng.UniformUint64(domain);
+    updates.push_back(Update{id, options.churn_magnitude});
+    updates.push_back(Update{id, -options.churn_magnitude});
+  }
+  if (options.shuffle) {
+    // Shuffling can reorder a churn pair's -d before its +d; that is still a
+    // valid turnstile stream (prefix frequencies stay bounded by M + churn).
+    ShuffleUpdates(updates, rng);
+  }
+  Workload w{Stream(domain), freq};
+  for (const Update& u : updates) w.stream.Append(u.item, u.delta);
+  // Drop zero entries so `frequencies` matches ExactFrequencies().
+  for (auto it = w.frequencies.begin(); it != w.frequencies.end();) {
+    it = (it->second == 0) ? w.frequencies.erase(it) : std::next(it);
+  }
+  return w;
+}
+
+Workload MakeZipfWorkload(uint64_t domain, size_t num_items, double exponent,
+                          int64_t max_frequency,
+                          const StreamShapeOptions& options, Rng& rng) {
+  GSTREAM_CHECK_GE(max_frequency, 1);
+  const std::vector<ItemId> ids = SampleDistinctIds(domain, num_items, rng);
+  FrequencyMap freq;
+  for (size_t rank = 0; rank < ids.size(); ++rank) {
+    const double raw = static_cast<double>(max_frequency) /
+                       std::pow(static_cast<double>(rank + 1), exponent);
+    freq[ids[rank]] = std::max<int64_t>(1, static_cast<int64_t>(raw));
+  }
+  return MakeStreamFromFrequencies(domain, freq, options, rng);
+}
+
+Workload MakeUniformWorkload(uint64_t domain, size_t num_items, int64_t lo,
+                             int64_t hi, const StreamShapeOptions& options,
+                             Rng& rng) {
+  GSTREAM_CHECK_LE(lo, hi);
+  const std::vector<ItemId> ids = SampleDistinctIds(domain, num_items, rng);
+  FrequencyMap freq;
+  for (const ItemId id : ids) freq[id] = rng.UniformInt(lo, hi);
+  return MakeStreamFromFrequencies(domain, freq, options, rng);
+}
+
+Workload MakeHistogramWorkload(uint64_t domain,
+                               const std::vector<HistogramBucket>& buckets,
+                               const StreamShapeOptions& options, Rng& rng) {
+  size_t total_items = 0;
+  for (const HistogramBucket& b : buckets) total_items += b.item_count;
+  const std::vector<ItemId> ids = SampleDistinctIds(domain, total_items, rng);
+  FrequencyMap freq;
+  size_t cursor = 0;
+  for (const HistogramBucket& b : buckets) {
+    for (size_t k = 0; k < b.item_count; ++k) {
+      freq[ids[cursor++]] = b.frequency;
+    }
+  }
+  return MakeStreamFromFrequencies(domain, freq, options, rng);
+}
+
+Workload MakePlantedHeavyHitterWorkload(uint64_t domain,
+                                        size_t background_items,
+                                        int64_t background_max,
+                                        int64_t heavy_frequency,
+                                        const StreamShapeOptions& options,
+                                        Rng& rng, ItemId* heavy_id) {
+  GSTREAM_CHECK(heavy_id != nullptr);
+  const std::vector<ItemId> ids =
+      SampleDistinctIds(domain, background_items + 1, rng);
+  FrequencyMap freq;
+  for (size_t k = 0; k < background_items; ++k) {
+    freq[ids[k]] = rng.UniformInt(1, background_max);
+  }
+  *heavy_id = ids.back();
+  freq[*heavy_id] = heavy_frequency;
+  return MakeStreamFromFrequencies(domain, freq, options, rng);
+}
+
+Workload MakeIidSampleWorkload(uint64_t domain, size_t num_samples,
+                               const std::vector<double>& pmf,
+                               const StreamShapeOptions& options, Rng& rng) {
+  GSTREAM_CHECK(!pmf.empty());
+  GSTREAM_CHECK_LE(num_samples, domain);
+  double total = 0.0;
+  for (double p : pmf) {
+    GSTREAM_CHECK(p >= 0.0);
+    total += p;
+  }
+  GSTREAM_CHECK(total > 0.0);
+  // Coordinate i of the frequency vector holds the i-th sample's value, the
+  // setting of the log-likelihood application (paper §1.1.1).
+  FrequencyMap freq;
+  for (size_t i = 0; i < num_samples; ++i) {
+    double u = rng.UniformDouble() * total;
+    int64_t value = 0;
+    for (size_t v = 0; v < pmf.size(); ++v) {
+      u -= pmf[v];
+      if (u <= 0.0) {
+        value = static_cast<int64_t>(v);
+        break;
+      }
+    }
+    if (value != 0) freq[static_cast<ItemId>(i)] = value;
+  }
+  return MakeStreamFromFrequencies(domain, freq, options, rng);
+}
+
+}  // namespace gstream

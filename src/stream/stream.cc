@@ -1,0 +1,57 @@
+#include "stream/stream.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace gstream {
+
+Stream::Stream(uint64_t domain) : domain_(domain) {
+  GSTREAM_CHECK_GE(domain, 1u);
+}
+
+void Stream::Append(ItemId item, int64_t delta) {
+  GSTREAM_CHECK_LT(item, domain_);
+  updates_.push_back(Update{item, delta});
+}
+
+void Stream::AppendStream(const Stream& other) {
+  GSTREAM_CHECK_EQ(domain_, other.domain_);
+  updates_.insert(updates_.end(), other.updates_.begin(),
+                  other.updates_.end());
+}
+
+bool Stream::IsInsertionOnly() const {
+  for (const Update& u : updates_) {
+    if (u.delta != 1) return false;
+  }
+  return true;
+}
+
+int64_t Stream::MaxPrefixFrequency() const {
+  FrequencyMap running;
+  int64_t max_abs = 0;
+  for (const Update& u : updates_) {
+    int64_t& v = running[u.item];
+    v += u.delta;
+    max_abs = std::max<int64_t>(max_abs, std::llabs(v));
+  }
+  return max_abs;
+}
+
+FrequencyMap ExactFrequencies(const Stream& stream) {
+  FrequencyMap freq;
+  for (const Update& u : stream.updates()) {
+    freq[u.item] += u.delta;
+  }
+  for (auto it = freq.begin(); it != freq.end();) {
+    if (it->second == 0) {
+      it = freq.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return freq;
+}
+
+}  // namespace gstream

@@ -1,0 +1,71 @@
+// The turnstile data-stream model of the paper (Section 1.2).
+//
+// A stream of length m with domain [n] is a list of updates (i_j, delta_j)
+// with i_j in [n] and integer delta_j; the frequency vector V(D) has
+// v_i = sum of deltas for item i.  The turnstile promise is that every
+// prefix keeps |v_i| <= M for a bound M in poly(n); the insertion-only
+// model restricts delta_j == +1.
+
+#ifndef GSTREAM_STREAM_STREAM_H_
+#define GSTREAM_STREAM_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gstream {
+
+// Item identifiers are indices into the domain [0, n).
+using ItemId = uint64_t;
+
+// Sparse exact frequency vector.
+using FrequencyMap = std::unordered_map<ItemId, int64_t>;
+
+// One stream update (i, delta).
+struct Update {
+  ItemId item = 0;
+  int64_t delta = 0;
+};
+
+// An in-memory turnstile stream over domain [0, n).
+//
+// The class stores updates in arrival order; streaming algorithms consume
+// them through a single forward scan per pass, never via random access to
+// frequencies, so multi-pass algorithms are honestly modeled.
+class Stream {
+ public:
+  // Creates an empty stream with the given domain size n >= 1.
+  explicit Stream(uint64_t domain);
+
+  // Appends one update; `item` must lie in [0, domain).
+  void Append(ItemId item, int64_t delta);
+
+  // Appends all updates of `other` (domains must agree).  Models protocol
+  // concatenation, e.g. Alice's stream followed by Bob's.
+  void AppendStream(const Stream& other);
+
+  uint64_t domain() const { return domain_; }
+  size_t length() const { return updates_.size(); }
+  const std::vector<Update>& updates() const { return updates_; }
+
+  // True iff every delta equals +1 (the insertion-only model in which the
+  // paper's lower bounds already hold).
+  bool IsInsertionOnly() const;
+
+  // Largest |v_i| attained over *all prefixes* of the stream -- the M of
+  // the turnstile promise.
+  int64_t MaxPrefixFrequency() const;
+
+ private:
+  uint64_t domain_;
+  std::vector<Update> updates_;
+};
+
+// Computes the exact frequency vector of `stream` (one scan).  Items whose
+// net frequency is zero are omitted.
+FrequencyMap ExactFrequencies(const Stream& stream);
+
+}  // namespace gstream
+
+#endif  // GSTREAM_STREAM_STREAM_H_

@@ -1,0 +1,92 @@
+#include "stream/stream_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <sstream>
+
+namespace gstream {
+namespace {
+
+constexpr char kMagic[] = "gstream-v1";
+
+// Strips a trailing comment and surrounding whitespace.
+std::string StripLine(const std::string& line) {
+  std::string s = line;
+  const size_t hash = s.find('#');
+  if (hash != std::string::npos) s.erase(hash);
+  const size_t first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const size_t last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+}  // namespace
+
+std::string StreamToText(const Stream& stream) {
+  std::ostringstream out;
+  out << kMagic << ' ' << stream.domain() << '\n';
+  for (const Update& u : stream.updates()) {
+    out << u.item << ' ' << u.delta << '\n';
+  }
+  return out.str();
+}
+
+std::optional<Stream> StreamFromText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  // Header.
+  uint64_t domain = 0;
+  {
+    std::string stripped;
+    while (std::getline(in, line)) {
+      stripped = StripLine(line);
+      if (!stripped.empty()) break;
+    }
+    std::istringstream header(stripped);
+    std::string magic;
+    if (!(header >> magic >> domain) || magic != kMagic || domain == 0) {
+      return std::nullopt;
+    }
+    std::string extra;
+    if (header >> extra) return std::nullopt;
+  }
+  Stream stream(domain);
+  while (std::getline(in, line)) {
+    const std::string stripped = StripLine(line);
+    if (stripped.empty()) continue;
+    std::istringstream fields(stripped);
+    uint64_t item = 0;
+    int64_t delta = 0;
+    std::string extra;
+    if (!(fields >> item >> delta) || (fields >> extra)) {
+      return std::nullopt;
+    }
+    if (item >= domain) return std::nullopt;
+    stream.Append(item, delta);
+  }
+  return stream;
+}
+
+bool SaveStream(const Stream& stream, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = StreamToText(stream);
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::optional<Stream> LoadStream(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return std::nullopt;
+  std::string text;
+  char buffer[1 << 14];
+  size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(f);
+  return StreamFromText(text);
+}
+
+}  // namespace gstream

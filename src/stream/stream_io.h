@@ -1,0 +1,38 @@
+// Plain-text serialization of streams: save a generated workload once,
+// replay it across runs, tools, or machines.
+//
+// Format (line-oriented, '#' comments allowed):
+//
+//   gstream-v1 <domain>
+//   <item> <delta>
+//   <item> <delta>
+//   ...
+//
+// Loading validates the header, the domain bound on every item, and
+// integer syntax; failures return std::nullopt rather than aborting, so
+// callers can handle user-supplied files gracefully.
+
+#ifndef GSTREAM_STREAM_STREAM_IO_H_
+#define GSTREAM_STREAM_STREAM_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "stream/stream.h"
+
+namespace gstream {
+
+// Serializes `stream` to the text format.  Returns false on I/O error.
+bool SaveStream(const Stream& stream, const std::string& path);
+
+// Parses a stream from the text format; nullopt on syntax, header, or
+// domain violations (and on I/O errors).
+std::optional<Stream> LoadStream(const std::string& path);
+
+// In-memory variants (used by the file functions and directly testable).
+std::string StreamToText(const Stream& stream);
+std::optional<Stream> StreamFromText(const std::string& text);
+
+}  // namespace gstream
+
+#endif  // GSTREAM_STREAM_STREAM_IO_H_

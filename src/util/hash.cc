@@ -1,0 +1,44 @@
+#include "util/hash.h"
+
+#include "util/logging.h"
+
+namespace gstream {
+
+uint64_t ModMersenne61(__uint128_t x) {
+  // Fold twice in 128 bits (the high part of a 128-bit value exceeds 64
+  // bits, so the folds must stay wide), then finish with conditional
+  // subtractions: after the first fold x < 2^61 + 2^67, after the second
+  // x < 2^61 + 2^7.
+  x = (x & kMersenne61) + (x >> 61);
+  x = (x & kMersenne61) + (x >> 61);
+  uint64_t r = static_cast<uint64_t>(x);
+  if (r >= kMersenne61) r -= kMersenne61;
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+KWiseHash::KWiseHash(int k, Rng& rng) {
+  GSTREAM_CHECK_GE(k, 1);
+  coeffs_.resize(static_cast<size_t>(k));
+  for (uint64_t& c : coeffs_) c = rng.UniformUint64(kMersenne61);
+  // Force a nonzero leading coefficient so the polynomial has full degree.
+  if (k > 1 && coeffs_.back() == 0) coeffs_.back() = 1;
+}
+
+uint64_t KWiseHash::operator()(uint64_t x) const {
+  const uint64_t xm = x % kMersenne61;
+  uint64_t acc = coeffs_.back();
+  for (size_t i = coeffs_.size() - 1; i-- > 0;) {
+    acc = MulMod61(acc, xm);
+    acc += coeffs_[i];
+    if (acc >= kMersenne61) acc -= kMersenne61;
+  }
+  return acc;
+}
+
+BucketHash::BucketHash(int k, uint64_t range, Rng& rng)
+    : hash_(k, rng), range_(range) {
+  GSTREAM_CHECK_GE(range, 1u);
+}
+
+}  // namespace gstream

@@ -1,0 +1,106 @@
+// k-wise independent hash families.
+//
+// The streaming algorithms in this library need limited-independence hashing
+// with provable guarantees rather than ad-hoc mixing:
+//   * CountSketch needs 2-wise bucket hashes and 4-wise sign hashes
+//     (Charikar, Chen, Farach-Colton 2002).
+//   * The AMS F2 sketch needs 4-wise sign hashes (Alon, Matias, Szegedy 1996).
+//   * The recursive sketch's subsampler and the g_np sketch (Prop. 54 of the
+//     paper) need pairwise-independent Bernoulli(1/2) variables.
+//
+// All families are degree-(k-1) polynomials over the Mersenne prime field
+// GF(2^61 - 1), the textbook construction: h(x) = sum a_i x^i mod p.  A
+// degree-(k-1) polynomial with uniform coefficients is exactly k-wise
+// independent on inputs < p.
+
+#ifndef GSTREAM_UTIL_HASH_H_
+#define GSTREAM_UTIL_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace gstream {
+
+// The Mersenne prime 2^61 - 1 used as the hash field modulus.
+inline constexpr uint64_t kMersenne61 = (uint64_t{1} << 61) - 1;
+
+// Reduces a 128-bit product modulo 2^61 - 1.
+uint64_t ModMersenne61(__uint128_t x);
+
+// Multiplies two field elements modulo 2^61 - 1.
+inline uint64_t MulMod61(uint64_t a, uint64_t b) {
+  return ModMersenne61(static_cast<__uint128_t>(a) * b);
+}
+
+// A k-wise independent hash function h : [2^61-1) -> [2^61-1).
+//
+// Space: k field elements.  Evaluation: Horner's rule, k-1 modular
+// multiplications.
+class KWiseHash {
+ public:
+  // Draws a uniformly random degree-(k-1) polynomial.  k >= 1.
+  KWiseHash(int k, Rng& rng);
+
+  // Evaluates the polynomial at `x` (reduced mod 2^61-1 first).
+  uint64_t operator()(uint64_t x) const;
+
+  int independence() const { return static_cast<int>(coeffs_.size()); }
+
+  // Bytes of state held by this function (the coefficients).
+  size_t SpaceBytes() const { return coeffs_.size() * sizeof(uint64_t); }
+
+ private:
+  std::vector<uint64_t> coeffs_;  // a_0 .. a_{k-1}
+};
+
+// A k-wise independent hash into buckets [0, range).
+//
+// Composes KWiseHash with a modulo reduction; for range << 2^61 the bias is
+// at most range / 2^61 per bucket, negligible for every use in this library.
+class BucketHash {
+ public:
+  BucketHash(int k, uint64_t range, Rng& rng);
+
+  uint64_t operator()(uint64_t x) const { return hash_(x) % range_; }
+
+  uint64_t range() const { return range_; }
+  size_t SpaceBytes() const { return hash_.SpaceBytes() + sizeof(range_); }
+
+ private:
+  KWiseHash hash_;
+  uint64_t range_;
+};
+
+// A 4-wise independent sign hash s : keys -> {-1, +1}.
+class SignHash {
+ public:
+  explicit SignHash(Rng& rng) : hash_(4, rng) {}
+
+  int operator()(uint64_t x) const { return (hash_(x) & 1) ? +1 : -1; }
+
+  size_t SpaceBytes() const { return hash_.SpaceBytes(); }
+
+ private:
+  KWiseHash hash_;
+};
+
+// A pairwise-independent Bernoulli(1/2) indicator X : keys -> {0, 1},
+// as used by the g_np sketch of Proposition 54 and the recursive sketch's
+// level sampler.
+class BernoulliHash {
+ public:
+  explicit BernoulliHash(Rng& rng) : hash_(2, rng) {}
+
+  bool operator()(uint64_t x) const { return (hash_(x) & 1) != 0; }
+
+  size_t SpaceBytes() const { return hash_.SpaceBytes(); }
+
+ private:
+  KWiseHash hash_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_UTIL_HASH_H_

@@ -1,0 +1,54 @@
+// Lightweight assertion / logging macros for the gstream library.
+//
+// The library is exception-free (Google style); contract violations abort
+// with a readable message.  GSTREAM_CHECK is always on (it guards algorithm
+// invariants, not hot loops); GSTREAM_DCHECK compiles out in release builds.
+
+#ifndef GSTREAM_UTIL_LOGGING_H_
+#define GSTREAM_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts the program, printing `expr` and the source location, when the
+// condition is false.  Usable in constexpr-free runtime code only.
+#define GSTREAM_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "GSTREAM_CHECK failed: %s at %s:%d\n", #cond, \
+                   __FILE__, __LINE__);                                  \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+// Binary comparison checks with operand printing for integral operands.
+#define GSTREAM_CHECK_OP(op, a, b)                                       \
+  do {                                                                   \
+    auto va_ = (a);                                                      \
+    auto vb_ = (b);                                                      \
+    if (!(va_ op vb_)) {                                                 \
+      std::fprintf(stderr,                                               \
+                   "GSTREAM_CHECK failed: %s %s %s (%lld vs %lld) at "   \
+                   "%s:%d\n",                                            \
+                   #a, #op, #b, static_cast<long long>(va_),             \
+                   static_cast<long long>(vb_), __FILE__, __LINE__);     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define GSTREAM_CHECK_EQ(a, b) GSTREAM_CHECK_OP(==, a, b)
+#define GSTREAM_CHECK_NE(a, b) GSTREAM_CHECK_OP(!=, a, b)
+#define GSTREAM_CHECK_LT(a, b) GSTREAM_CHECK_OP(<, a, b)
+#define GSTREAM_CHECK_LE(a, b) GSTREAM_CHECK_OP(<=, a, b)
+#define GSTREAM_CHECK_GT(a, b) GSTREAM_CHECK_OP(>, a, b)
+#define GSTREAM_CHECK_GE(a, b) GSTREAM_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define GSTREAM_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define GSTREAM_DCHECK(cond) GSTREAM_CHECK(cond)
+#endif
+
+#endif  // GSTREAM_UTIL_LOGGING_H_

@@ -1,0 +1,113 @@
+#include "util/math_util.h"
+
+#include <cstdlib>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace gstream {
+
+int64_t Gcd(int64_t a, int64_t b) {
+  a = std::llabs(a);
+  b = std::llabs(b);
+  while (b != 0) {
+    const int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+BezoutCoefficients ExtendedGcd(int64_t a, int64_t b) {
+  GSTREAM_CHECK(a >= 0 && b >= 0 && (a != 0 || b != 0));
+  // Iterative extended Euclid maintaining r = x*a + y*b.
+  int64_t old_r = a, r = b;
+  int64_t old_x = 1, x = 0;
+  int64_t old_y = 0, y = 1;
+  while (r != 0) {
+    const int64_t q = old_r / r;
+    int64_t t = old_r - q * r;
+    old_r = r;
+    r = t;
+    t = old_x - q * x;
+    old_x = x;
+    x = t;
+    t = old_y - q * y;
+    old_y = y;
+    y = t;
+  }
+  return BezoutCoefficients{old_r, old_x, old_y};
+}
+
+std::optional<LinearCombination> MinimalCombination(
+    const std::vector<int64_t>& u, int64_t d, int max_terms) {
+  GSTREAM_CHECK(!u.empty());
+  GSTREAM_CHECK_GE(max_terms, 1);
+  int64_t max_u = 0;
+  for (int64_t v : u) max_u = std::max<int64_t>(max_u, std::llabs(v));
+  GSTREAM_CHECK_GT(max_u, 0);
+  // Any optimal path can be reordered so partial sums stay within
+  // |d| + max|u_i| of the segment [min(0,d), max(0,d)]; a generous cap of
+  // |d| + max_u * max_terms is safe and keeps the search bounded.
+  const int64_t bound = std::llabs(d) + max_u * static_cast<int64_t>(max_terms);
+
+  struct Parent {
+    int64_t prev;
+    int u_index;  // -1 at the origin
+    int sign;
+    int depth;
+  };
+  std::unordered_map<int64_t, Parent> visited;
+  visited[0] = Parent{0, -1, 0, 0};
+  std::deque<int64_t> queue{0};
+
+  while (!queue.empty()) {
+    const int64_t value = queue.front();
+    queue.pop_front();
+    const Parent here = visited.at(value);
+    if (value == d) {
+      LinearCombination result;
+      result.coefficients.assign(u.size(), 0);
+      int64_t cursor = d;
+      while (cursor != 0 || visited.at(cursor).u_index != -1) {
+        const Parent& p = visited.at(cursor);
+        if (p.u_index == -1) break;
+        result.coefficients[static_cast<size_t>(p.u_index)] += p.sign;
+        result.l1_norm += 1;
+        cursor = p.prev;
+      }
+      return result;
+    }
+    if (here.depth == max_terms) continue;
+    for (size_t i = 0; i < u.size(); ++i) {
+      for (int sign : {+1, -1}) {
+        const int64_t next = value + sign * u[i];
+        if (std::llabs(next) > bound) continue;
+        if (visited.contains(next)) continue;
+        visited[next] =
+            Parent{value, static_cast<int>(i), sign, here.depth + 1};
+        queue.push_back(next);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+int64_t PowSaturated(int64_t x, int p) {
+  GSTREAM_CHECK_GE(x, 0);
+  GSTREAM_CHECK_GE(p, 0);
+  int64_t result = 1;
+  for (int i = 0; i < p; ++i) {
+    if (x != 0 && result > std::numeric_limits<int64_t>::max() / x) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    result *= x;
+  }
+  return result;
+}
+
+bool IsPowerOfTwo(int64_t x) { return x >= 1 && (x & (x - 1)) == 0; }
+
+}  // namespace gstream

@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation for gstream.
+//
+// All randomized structures in the library (hash families, samplers,
+// workload generators) draw their randomness from an explicitly seeded
+// `Rng`, so every experiment and test is reproducible bit-for-bit.
+//
+// The generator is xoshiro256++ seeded through splitmix64, a standard
+// combination with good statistical quality and trivial state.
+
+#ifndef GSTREAM_UTIL_RANDOM_H_
+#define GSTREAM_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace gstream {
+
+// Mixes a 64-bit seed into a well-distributed 64-bit value; used for seeding
+// and as a cheap stateless mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256++ generator.  Copyable; copies continue independently.
+class Rng {
+ public:
+  // Seeds the four 64-bit state words from `seed` via splitmix64.
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (uint64_t& word : state_) word = SplitMix64(sm);
+  }
+
+  // Returns the next 64 uniformly random bits.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Returns a uniform integer in [0, bound).  `bound` must be positive.
+  // Uses rejection sampling (Lemire) to avoid modulo bias.
+  uint64_t UniformUint64(uint64_t bound) {
+    GSTREAM_CHECK(bound > 0);
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      const uint64_t r = NextUint64();
+      const __uint128_t m = static_cast<__uint128_t>(r) * bound;
+      if (static_cast<uint64_t>(m) >= threshold) {
+        return static_cast<uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  // Returns a uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    GSTREAM_CHECK(lo <= hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(UniformUint64(span));
+  }
+
+  // Returns a uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  // Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Derives an independent child generator; convenient for giving each
+  // repetition of an experiment its own stream of randomness.
+  Rng Fork() { return Rng(NextUint64()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_UTIL_RANDOM_H_

@@ -1,0 +1,43 @@
+// Aligned plain-text tables for the experiment binaries.
+//
+// Every bench/ binary prints its results as a table with a caption; this
+// helper keeps the formatting uniform and the harness code short.
+//
+// Usage:
+//   TablePrinter t({"g", "n", "space_KiB", "median_rel_err"});
+//   t.AddRow({"x^2", "65536", "96.0", "0.031"});
+//   t.Print("E1: one-pass tractable functions");
+
+#ifndef GSTREAM_UTIL_TABLE_PRINTER_H_
+#define GSTREAM_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace gstream {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  // Writes the caption, a header line, a rule, and all rows to stdout.
+  void Print(const std::string& caption) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+  // Formats a double with `digits` significant decimal places.
+  static std::string FormatDouble(double value, int digits = 4);
+  static std::string FormatInt(long long value);
+  static std::string FormatBytes(size_t bytes);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_UTIL_TABLE_PRINTER_H_

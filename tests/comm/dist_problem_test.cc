@@ -1,0 +1,76 @@
+#include "comm/dist_problem.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "stream/exact.h"
+
+namespace gstream {
+namespace {
+
+DistInstanceParams Params() {
+  DistInstanceParams params;
+  params.n = 1 << 10;
+  params.density = 0.4;
+  params.allowed = {5, 3};
+  params.target = 1;
+  return params;
+}
+
+TEST(DistInstanceTest, V0FrequenciesFromAllowedSet) {
+  Rng rng(1);
+  const DistInstance inst = MakeDistInstance(Params(), false, rng);
+  EXPECT_FALSE(inst.has_target);
+  const std::unordered_set<int64_t> allowed = {3, 5};
+  for (const auto& [item, value] : ExactFrequencies(inst.stream)) {
+    EXPECT_TRUE(allowed.contains(std::llabs(value)))
+        << "item " << item << " freq " << value;
+  }
+}
+
+TEST(DistInstanceTest, V1HasExactlyOneTargetCoordinate) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const DistInstance inst = MakeDistInstance(Params(), true, rng);
+    EXPECT_TRUE(inst.has_target);
+    size_t target_count = 0;
+    for (const auto& [item, value] : ExactFrequencies(inst.stream)) {
+      if (std::llabs(value) == 1) ++target_count;
+    }
+    EXPECT_EQ(target_count, 1u);
+  }
+}
+
+TEST(DistInstanceTest, DensityControlsFill) {
+  Rng rng(3);
+  DistInstanceParams params = Params();
+  params.density = 0.25;
+  const DistInstance inst = MakeDistInstance(params, false, rng);
+  const size_t nonzero = ExactFrequencies(inst.stream).size();
+  EXPECT_NEAR(static_cast<double>(nonzero), 0.25 * params.n,
+              6.0 * std::sqrt(0.25 * 0.75 * params.n));
+}
+
+TEST(DistInstanceTest, SignsBalanced) {
+  Rng rng(4);
+  const DistInstance inst = MakeDistInstance(Params(), false, rng);
+  int positive = 0, total = 0;
+  for (const auto& [item, value] : ExactFrequencies(inst.stream)) {
+    ++total;
+    if (value > 0) ++positive;
+  }
+  EXPECT_NEAR(static_cast<double>(positive) / total, 0.5, 0.15);
+}
+
+TEST(DistInstanceDeathTest, RejectsBadDensity) {
+  Rng rng(5);
+  DistInstanceParams params = Params();
+  params.density = 0.0;
+  EXPECT_DEATH(MakeDistInstance(params, false, rng), "GSTREAM_CHECK");
+}
+
+}  // namespace
+}  // namespace gstream

@@ -1,0 +1,111 @@
+#include "comm/index_problem.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "gfunc/catalog.h"
+#include "stream/exact.h"
+
+namespace gstream {
+namespace {
+
+TEST(IndexInstanceTest, GroundTruthFlagConsistent) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const IndexInstance inst = MakeIndexInstance(256, rng);
+    std::unordered_set<ItemId> in_a(inst.alice_set.begin(),
+                                    inst.alice_set.end());
+    EXPECT_EQ(in_a.contains(inst.bob_index), inst.intersecting);
+    EXPECT_FALSE(inst.alice_set.empty());
+    EXPECT_LT(inst.alice_set.size(), 256u);
+  }
+}
+
+TEST(IndexInstanceTest, BothClassesAppear) {
+  Rng rng(2);
+  int intersecting = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    if (MakeIndexInstance(128, rng).intersecting) ++intersecting;
+  }
+  EXPECT_GT(intersecting, trials / 4);
+  EXPECT_LT(intersecting, 3 * trials / 4);
+}
+
+TEST(IndexReductionTest, StreamRealizesLemma23Frequencies) {
+  Rng rng(3);
+  const IndexInstance inst = MakeIndexInstance(128, rng);
+  const IndexReductionShape shape{/*alice_frequency=*/128,
+                                  /*bob_frequency=*/1};
+  const Stream stream = BuildIndexReductionStream(inst, shape);
+  const FrequencyMap freq = ExactFrequencies(stream);
+  for (const ItemId i : inst.alice_set) {
+    const int64_t expected =
+        (i == inst.bob_index) ? 128 + 1 : 128;
+    EXPECT_EQ(freq.at(i), expected);
+  }
+  if (!inst.intersecting) {
+    EXPECT_EQ(freq.at(inst.bob_index), 1);
+  }
+}
+
+// The strongest consistency check: the exact g-SUM of the built stream
+// equals the outcome formula for the instance's ground-truth class.
+TEST(IndexReductionTest, OutcomesMatchExactGSum) {
+  Rng rng(4);
+  const GFunctionPtr g = MakeInversePoly(1.0);  // Lemma 23's target class
+  const IndexReductionShape shape{/*alice_frequency=*/256,
+                                  /*bob_frequency=*/1};
+  for (int trial = 0; trial < 20; ++trial) {
+    const IndexInstance inst = MakeIndexInstance(256, rng);
+    const Stream stream = BuildIndexReductionStream(inst, shape);
+    const double actual =
+        ExactGSum(ExactFrequencies(stream), g->AsCallable());
+    const DistinguishingOutcomes o =
+        IndexReductionOutcomes(*g, inst.alice_set.size(), shape);
+    const double expected =
+        inst.intersecting ? o.value_if_intersecting : o.value_if_disjoint;
+    EXPECT_NEAR(actual, expected, 1e-9 * expected);
+  }
+}
+
+TEST(IndexReductionTest, Lemma23GapIsConstantForInverse) {
+  // For g = 1/x the two outcomes differ by ~g(x) = Omega(total): the gap
+  // the lower bound exploits.
+  const GFunctionPtr g = MakeInversePoly(1.0);
+  const IndexReductionShape shape{4096, 1};
+  const DistinguishingOutcomes o = IndexReductionOutcomes(*g, 2048, shape);
+  EXPECT_GT(o.relative_gap, 0.3);
+}
+
+TEST(IndexReductionTest, GapIsTinyForQuadratic) {
+  // For tractable g = x^2 the same reduction yields a vanishing gap --
+  // exactly why no lower bound applies.
+  const GFunctionPtr g = MakePower(2.0);
+  const IndexReductionShape shape{4096, 1};
+  const DistinguishingOutcomes o = IndexReductionOutcomes(*g, 2048, shape);
+  EXPECT_LT(o.relative_gap, 0.01);
+}
+
+TEST(IndexReductionTest, Lemma25ShapeGapForNonPredictable) {
+  // Lemma 25: Bob adds x_k >> y_k; for (2+sin sqrt(x)) x^2 the outcomes
+  // differ by a constant fraction at a phase where sin flips.
+  const GFunctionPtr g = MakeSinSqrtModulated();
+  // x = 40000: sqrt jumps by ~ pi between x and x+y for y ~ 2 pi sqrt(x).
+  const IndexReductionShape shape{/*alice_frequency=*/1256,
+                                  /*bob_frequency=*/40000};
+  const DistinguishingOutcomes o = IndexReductionOutcomes(*g, 64, shape);
+  EXPECT_GT(o.relative_gap, 0.05);
+}
+
+TEST(DecideIntersectingTest, NearestOutcomeWins) {
+  DistinguishingOutcomes o;
+  o.value_if_disjoint = 100.0;
+  o.value_if_intersecting = 200.0;
+  EXPECT_FALSE(DecideIntersecting(120.0, o));
+  EXPECT_TRUE(DecideIntersecting(180.0, o));
+}
+
+}  // namespace
+}  // namespace gstream

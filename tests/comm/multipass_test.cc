@@ -1,0 +1,101 @@
+#include "comm/multipass.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "gfunc/catalog.h"
+#include "stream/exact.h"
+
+namespace gstream {
+namespace {
+
+TEST(TwoPartyDisjTest, PromiseRespected) {
+  Rng rng(1);
+  for (int t = 0; t < 30; ++t) {
+    const TwoPartyDisjInstance inst = MakeTwoPartyDisjInstance(256, rng);
+    std::unordered_set<ItemId> s1(inst.set1.begin(), inst.set1.end());
+    size_t overlap = 0;
+    for (const ItemId i : inst.set2) {
+      if (s1.contains(i)) {
+        ++overlap;
+        EXPECT_EQ(i, inst.common);
+      }
+    }
+    EXPECT_EQ(overlap, inst.intersecting ? 1u : 0u);
+  }
+}
+
+TEST(TwoPartyDisjTest, BothClassesAppear) {
+  Rng rng(2);
+  int intersecting = 0;
+  for (int t = 0; t < 100; ++t) {
+    if (MakeTwoPartyDisjInstance(64, rng).intersecting) ++intersecting;
+  }
+  EXPECT_GT(intersecting, 25);
+  EXPECT_LT(intersecting, 75);
+}
+
+TEST(Lemma27Test, StreamRealizesFrequencyPattern) {
+  Rng rng(3);
+  const uint64_t n = 128;
+  const TwoPartyDisjInstance inst = MakeTwoPartyDisjInstance(n, rng);
+  const Lemma27Shape shape{/*x_frequency=*/1, /*y_frequency=*/128};
+  const Stream stream = BuildLemma27Stream(inst, n, shape);
+  const FrequencyMap freq = ExactFrequencies(stream);
+
+  std::unordered_set<ItemId> s1(inst.set1.begin(), inst.set1.end());
+  std::unordered_set<ItemId> s2(inst.set2.begin(), inst.set2.end());
+  for (ItemId i = 0; i < n; ++i) {
+    const auto it = freq.find(i);
+    const int64_t v = (it == freq.end()) ? 0 : it->second;
+    if (s1.contains(i) && s2.contains(i)) {
+      EXPECT_EQ(v, 1) << "common element keeps frequency x";
+    } else if (s1.contains(i)) {
+      EXPECT_EQ(v, 129) << "S1-only element lifted to x + y";
+    } else if (s2.contains(i)) {
+      EXPECT_EQ(v, 0) << "S2-only element untouched";
+    } else {
+      EXPECT_EQ(v, 128) << "neither-set element gets y";
+    }
+  }
+}
+
+TEST(Lemma27Test, OutcomesMatchExactGSum) {
+  Rng rng(4);
+  const GFunctionPtr g = MakeInversePoly(1.0);
+  const uint64_t n = 256;
+  const Lemma27Shape shape{1, 256};
+  for (int t = 0; t < 20; ++t) {
+    const TwoPartyDisjInstance inst = MakeTwoPartyDisjInstance(n, rng);
+    const Stream stream = BuildLemma27Stream(inst, n, shape);
+    const double actual =
+        ExactGSum(ExactFrequencies(stream), g->AsCallable());
+    const Lemma27Outcomes o = ComputeLemma27Outcomes(*g, inst, n, shape);
+    const double expected =
+        inst.intersecting ? o.value_if_intersecting : o.value_if_disjoint;
+    EXPECT_NEAR(actual, expected, 1e-9 * expected);
+  }
+}
+
+TEST(Lemma27Test, InverseGapIsConstantFraction) {
+  Rng rng(5);
+  const GFunctionPtr g = MakeInversePoly(1.0);
+  const uint64_t n = 512;
+  const TwoPartyDisjInstance inst = MakeTwoPartyDisjInstance(n, rng);
+  const Lemma27Outcomes o =
+      ComputeLemma27Outcomes(*g, inst, n, Lemma27Shape{1, 512});
+  // The decisive difference is ~g(x) = 1 out of a total of O(1):
+  EXPECT_GT(o.relative_gap, 0.2);
+}
+
+TEST(Lemma27Test, DecisionRule) {
+  Lemma27Outcomes o;
+  o.value_if_disjoint = 2.0;
+  o.value_if_intersecting = 3.0;
+  EXPECT_FALSE(DecideLemma27Intersecting(2.2, o));
+  EXPECT_TRUE(DecideLemma27Intersecting(2.8, o));
+}
+
+}  // namespace
+}  // namespace gstream

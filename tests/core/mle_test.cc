@@ -1,0 +1,112 @@
+#include "core/mle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stream/generators.h"
+
+namespace gstream {
+namespace {
+
+// Builds the sample stream for true parameters (lambda, alpha, beta) by
+// discretizing the mixture pmf on [0, support).
+Workload SampleStream(double lambda, double alpha, double beta,
+                      size_t num_samples, uint64_t seed) {
+  std::vector<double> pmf;
+  for (int64_t x = 0; x < 64; ++x) {
+    pmf.push_back(std::exp(PoissonMixtureLogPmf(lambda, alpha, beta, x)));
+  }
+  Rng rng(seed);
+  return MakeIidSampleWorkload(num_samples, num_samples, pmf,
+                               StreamShapeOptions{}, rng);
+}
+
+std::vector<MleCandidate> BetaFamily(uint64_t domain) {
+  // Candidate hypotheses vary the heavy mode beta; lambda, alpha fixed.
+  std::vector<MleCandidate> family;
+  for (const double beta : {4.0, 6.0, 8.0, 10.0, 12.0}) {
+    family.push_back(MakePoissonMixtureCandidate(0.95, 0.5, beta, domain));
+  }
+  return family;
+}
+
+TEST(MleTest, CandidateScaleAndConstantArePositive) {
+  const MleCandidate c = MakePoissonMixtureCandidate(0.95, 0.5, 8.0, 1000);
+  EXPECT_GT(c.scale, 0.0);
+  EXPECT_GT(c.constant, 0.0);  // -n log p(0), p(0) < 1
+  EXPECT_DOUBLE_EQ(c.g->Value(0), 0.0);
+  EXPECT_DOUBLE_EQ(c.g->Value(1), 1.0);
+}
+
+TEST(MleTest, ExactScoresRecoverTruth) {
+  const size_t n = 20000;
+  const Workload w = SampleStream(0.95, 0.5, 8.0, n, /*seed=*/5);
+  const std::vector<MleCandidate> family = BetaFamily(n);
+  const std::vector<double> scores = ExactMleScores(family, w.stream);
+  // The true hypothesis (beta = 8, index 2) minimizes the exact NLL.
+  size_t best = 0;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] < scores[best]) best = i;
+  }
+  EXPECT_EQ(best, 2u);
+}
+
+TEST(MleTest, ExactScoreEqualsDirectNll) {
+  // Cross-check the scale/constant bookkeeping: the reassembled score must
+  // equal -sum_i log p(v_i) computed directly.
+  const size_t n = 2000;
+  const Workload w = SampleStream(0.95, 0.5, 8.0, n, /*seed=*/7);
+  const MleCandidate c = MakePoissonMixtureCandidate(0.95, 0.5, 8.0, n);
+  const double score = ExactMleScores({c}, w.stream)[0];
+  double direct = 0.0;
+  const FrequencyMap freq = ExactFrequencies(w.stream);
+  for (uint64_t i = 0; i < n; ++i) {
+    const auto it = freq.find(i);
+    const int64_t v = (it == freq.end()) ? 0 : it->second;
+    direct -= PoissonMixtureLogPmf(0.95, 0.5, 8.0, v);
+  }
+  EXPECT_NEAR(score, direct, 1e-6 * std::fabs(direct));
+}
+
+TEST(MleTest, ApproximateMlePicksTrueHypothesis) {
+  const size_t n = 20000;
+  const Workload w = SampleStream(0.95, 0.5, 8.0, n, /*seed=*/11);
+  const std::vector<MleCandidate> family = BetaFamily(n);
+
+  GSumOptions options;
+  options.passes = 2;  // exact candidate frequencies -> sharp decode
+  options.cs_buckets = 1024;
+  options.candidates = 64;
+  options.repetitions = 5;
+  const MleResult result = ApproximateMle(family, w.stream, n, options);
+  EXPECT_EQ(result.best_index, 2u);
+  EXPECT_GT(result.space_bytes, 0u);
+}
+
+TEST(MleTest, ApproximateScoresTrackExactScores) {
+  const size_t n = 20000;
+  const Workload w = SampleStream(0.95, 0.5, 8.0, n, /*seed=*/13);
+  const std::vector<MleCandidate> family = BetaFamily(n);
+  const std::vector<double> exact = ExactMleScores(family, w.stream);
+
+  GSumOptions options;
+  options.passes = 2;
+  options.cs_buckets = 1024;
+  options.candidates = 64;
+  options.repetitions = 5;
+  const MleResult result = ApproximateMle(family, w.stream, n, options);
+  ASSERT_EQ(result.scores.size(), exact.size());
+  for (size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_NEAR(result.scores[i] / exact[i], 1.0, 0.15) << "theta " << i;
+  }
+}
+
+TEST(MleDeathTest, EmptyFamilyRejected) {
+  Stream stream(8);
+  EXPECT_DEATH(ApproximateMle({}, stream, 8, GSumOptions{}),
+               "GSTREAM_CHECK");
+}
+
+}  // namespace
+}  // namespace gstream

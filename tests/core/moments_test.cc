@@ -1,0 +1,93 @@
+#include "core/moments.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/exact.h"
+#include "stream/generators.h"
+#include "util/stats.h"
+
+namespace gstream {
+namespace {
+
+Workload MomentWorkload(uint64_t seed) {
+  Rng rng(seed);
+  return MakeZipfWorkload(1 << 13, 1000, 1.5, 20000, StreamShapeOptions{},
+                          rng);
+}
+
+TEST(MomentsTest, F2UsesAmsFastPath) {
+  FrequencyMomentEstimator est(2.0, 1 << 13, MomentOptions{});
+  EXPECT_TRUE(est.uses_ams_fast_path());
+}
+
+TEST(MomentsTest, NonQuadraticUsesGenericRoute) {
+  for (const double p : {0.0, 0.5, 1.0, 1.5}) {
+    FrequencyMomentEstimator est(p, 1 << 13, MomentOptions{});
+    EXPECT_FALSE(est.uses_ams_fast_path()) << "p=" << p;
+  }
+}
+
+TEST(MomentsTest, F2AccurateOnSkewedStream) {
+  const Workload w = MomentWorkload(1);
+  const double truth = ExactMoment(w.frequencies, 2.0);
+  FrequencyMomentEstimator est(2.0, w.stream.domain(), MomentOptions{});
+  EXPECT_NEAR(est.Process(w.stream) / truth, 1.0, 0.2);
+}
+
+TEST(MomentsTest, F1AccurateOnSkewedStream) {
+  const Workload w = MomentWorkload(2);
+  const double truth = ExactMoment(w.frequencies, 1.0);
+  MomentOptions options;
+  options.gsum.cs_buckets = 1024;
+  options.gsum.repetitions = 5;
+  FrequencyMomentEstimator est(1.0, w.stream.domain(), options);
+  EXPECT_NEAR(est.Process(w.stream) / truth, 1.0, 0.3);
+}
+
+TEST(MomentsTest, FractionalMomentAccurate) {
+  const Workload w = MomentWorkload(3);
+  const double truth = ExactMoment(w.frequencies, 1.5);
+  MomentOptions options;
+  options.gsum.cs_buckets = 1024;
+  options.gsum.repetitions = 5;
+  FrequencyMomentEstimator est(1.5, w.stream.domain(), options);
+  EXPECT_NEAR(est.Process(w.stream) / truth, 1.0, 0.3);
+}
+
+TEST(MomentsTest, F2MatchesStandaloneAms) {
+  // Same seed -> the fast path must agree bit-for-bit with a directly
+  // constructed AMS sketch.
+  const Workload w = MomentWorkload(4);
+  MomentOptions options;
+  options.seed = 99;
+  FrequencyMomentEstimator est(2.0, w.stream.domain(), options);
+  est.Process(w.stream);
+  Rng rng(99);
+  AmsSketch ams(options.ams, rng);
+  ProcessStream(ams, w.stream);
+  EXPECT_DOUBLE_EQ(est.Estimate(), ams.EstimateF2());
+}
+
+TEST(MomentsTest, TurnstileDeletionsHandled) {
+  FrequencyMomentEstimator est(2.0, 64, MomentOptions{});
+  est.Update(1, 100);
+  est.Update(1, -100);
+  est.Update(2, 5);
+  EXPECT_DOUBLE_EQ(est.Estimate(), 25.0);
+}
+
+TEST(MomentsTest, SpaceReported) {
+  FrequencyMomentEstimator f2(2.0, 1 << 13, MomentOptions{});
+  FrequencyMomentEstimator f1(1.0, 1 << 13, MomentOptions{});
+  EXPECT_GT(f2.SpaceBytes(), 0u);
+  // The generic recursive route costs more than one AMS sketch.
+  EXPECT_GT(f1.SpaceBytes(), f2.SpaceBytes());
+}
+
+TEST(MomentsDeathTest, NegativeExponentRejected) {
+  EXPECT_DEATH(FrequencyMomentEstimator(-1.0, 64, MomentOptions{}),
+               "GSTREAM_CHECK");
+}
+
+}  // namespace
+}  // namespace gstream

@@ -1,0 +1,147 @@
+#include "core/one_pass_hh.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "gfunc/catalog.h"
+#include "gfunc/envelope.h"
+#include "stream/exact.h"
+#include "stream/generators.h"
+
+namespace gstream {
+namespace {
+
+OnePassHHOptions DefaultOptions() {
+  OnePassHHOptions options;
+  options.count_sketch = {5, 1024};
+  options.ams = {32, 5};
+  options.candidates = 32;
+  options.epsilon = 0.25;
+  options.h_envelope = 1.0;
+  return options;
+}
+
+TEST(OnePassHHTest, FindsPlantedHeavyHitterForQuadratic) {
+  Rng rng(1);
+  ItemId heavy = 0;
+  const Workload w = MakePlantedHeavyHitterWorkload(
+      1 << 12, 300, 10, 50000, StreamShapeOptions{}, rng, &heavy);
+  OnePassHeavyHitter hh(DefaultOptions(), rng);
+  ProcessStream(hh, w.stream);
+  const GFunctionPtr g = MakePower(2.0);
+  const GCover cover = hh.Cover(*g);
+  bool found = false;
+  for (const GCoverEntry& e : cover) {
+    if (e.item == heavy) {
+      found = true;
+      // Weight within (1 +- eps) of the truth (Definition 12 condition 1).
+      EXPECT_NEAR(e.g_value, g->ValueAbs(w.frequencies.at(heavy)),
+                  0.25 * g->ValueAbs(w.frequencies.at(heavy)));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(OnePassHHTest, StableFunctionSurvivesPruning) {
+  // g = x^2 is predictable: estimates near a large frequency survive.
+  const GFunctionPtr g = MakePower(2.0);
+  EXPECT_TRUE(OnePassHeavyHitter::SurvivesPruning(*g, /*v_hat=*/10000,
+                                                  /*e=*/100, /*epsilon=*/0.25,
+                                                  /*probe_points=*/24));
+}
+
+TEST(OnePassHHTest, VariableFunctionPrunedAtVolatileScale) {
+  // (2+sin x) x^2 swings by a factor 3 within +-2: any estimate with error
+  // radius >= 2 must be pruned under a tight epsilon.
+  const GFunctionPtr g = MakeSinModulated();
+  EXPECT_FALSE(OnePassHeavyHitter::SurvivesPruning(*g, /*v_hat=*/10000,
+                                                   /*e=*/8, /*epsilon=*/0.1,
+                                                   /*probe_points=*/24));
+}
+
+TEST(OnePassHHTest, ZeroRadiusAlwaysSurvives) {
+  const GFunctionPtr g = MakeSinModulated();
+  EXPECT_TRUE(OnePassHeavyHitter::SurvivesPruning(*g, 10000, 0, 0.1, 24));
+}
+
+TEST(OnePassHHTest, IndicatorSurvivesAnyRadiusAboveIt) {
+  // 1(x>0) is constant for x > 0; pruning at radius below v_hat passes.
+  const GFunctionPtr g = MakeIndicator();
+  EXPECT_TRUE(OnePassHeavyHitter::SurvivesPruning(*g, 1000, 500, 0.1, 24));
+  // Radius that reaches 0 (where g drops to 0) fails the stability test.
+  EXPECT_FALSE(OnePassHeavyHitter::SurvivesPruning(*g, 100, 200, 0.1, 24));
+}
+
+TEST(OnePassHHTest, PruningRadiusPaperTermGoverns) {
+  Rng rng(2);
+  OnePassHHOptions options = DefaultOptions();
+  options.epsilon = 0.5;
+  options.h_envelope = 1.0;
+  // Few buckets: the CountSketch error bound sqrt(F2/8) ~ 354 exceeds the
+  // paper interval (0.5/2) * 1000 = 250, so the paper term governs.
+  options.count_sketch = {5, 8};
+  OnePassHeavyHitter hh(options, rng);
+  hh.Update(1, 1000);  // F2 = 10^6 exactly (single item)
+  EXPECT_EQ(hh.PruningRadius(), 250);
+}
+
+TEST(OnePassHHTest, PruningRadiusSketchTermGoverns) {
+  Rng rng(2);
+  OnePassHHOptions options = DefaultOptions();
+  options.epsilon = 0.5;
+  options.h_envelope = 1.0;
+  // Many buckets: sqrt(10^6 / 4096) ~ 15.6 < 250.
+  options.count_sketch = {5, 4096};
+  OnePassHeavyHitter hh(options, rng);
+  hh.Update(1, 1000);
+  EXPECT_NEAR(static_cast<double>(hh.PruningRadius()), 15.6, 1.0);
+}
+
+TEST(OnePassHHTest, LargerEnvelopeShrinksRadius) {
+  Rng rng(3);
+  OnePassHHOptions small = DefaultOptions();
+  small.h_envelope = 1.0;
+  OnePassHHOptions big = DefaultOptions();
+  big.h_envelope = 100.0;
+  OnePassHeavyHitter hh_small(small, rng);
+  OnePassHeavyHitter hh_big(big, rng);
+  hh_small.Update(1, 10000);
+  hh_big.Update(1, 10000);
+  // h=1: radius = min(1250, sqrt(1e8/1024)) = 312; h=100: 12.
+  EXPECT_GT(hh_small.PruningRadius(), hh_big.PruningRadius() * 20);
+}
+
+TEST(OnePassHHTest, CoverRespectsEpsilonOnZipf) {
+  Rng rng(4);
+  const Workload w = MakeZipfWorkload(1 << 12, 500, 1.4, 100000,
+                                      StreamShapeOptions{}, rng);
+  OnePassHHOptions options = DefaultOptions();
+  options.count_sketch = {7, 4096};
+  OnePassHeavyHitter hh(options, rng);
+  ProcessStream(hh, w.stream);
+  const GFunctionPtr g = MakeX2Log();
+  for (const GCoverEntry& e : hh.Cover(*g)) {
+    ASSERT_TRUE(w.frequencies.contains(e.item));
+    const double truth = g->ValueAbs(w.frequencies.at(e.item));
+    EXPECT_LE(std::fabs(e.g_value - truth), 0.3 * truth)
+        << "item " << e.item;
+  }
+}
+
+TEST(OnePassHHDeathTest, NoSecondPass) {
+  Rng rng(5);
+  OnePassHeavyHitter hh(DefaultOptions(), rng);
+  EXPECT_DEATH(hh.AdvancePass(), "GSTREAM_CHECK");
+}
+
+TEST(OnePassHHDeathTest, RejectsEnvelopeBelowOne) {
+  Rng rng(6);
+  OnePassHHOptions options = DefaultOptions();
+  options.h_envelope = 0.5;
+  EXPECT_DEATH(OnePassHeavyHitter(options, rng), "GSTREAM_CHECK");
+}
+
+}  // namespace
+}  // namespace gstream

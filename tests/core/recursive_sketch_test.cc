@@ -1,0 +1,122 @@
+#include "core/recursive_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include "core/two_pass_hh.h"
+#include "gfunc/catalog.h"
+#include "stream/exact.h"
+#include "stream/generators.h"
+#include "util/stats.h"
+
+namespace gstream {
+namespace {
+
+GHeavyHitterFactory ExactFactory() {
+  return [](int /*level*/, Rng& /*rng*/) {
+    return std::make_unique<ExactHeavyHitterSketch>();
+  };
+}
+
+// The telescoping identity: with complete, exact covers at every level, the
+// recursive estimator X_0 equals the exact g-SUM *identically* -- every
+// 2*(X_{l+1} - overlap) term cancels.  This pins the estimator algebra.
+TEST(RecursiveSketchTest, ExactCoversGiveExactSum) {
+  Rng data_rng(1);
+  const Workload w = MakeZipfWorkload(1 << 10, 300, 1.1, 1000,
+                                      StreamShapeOptions{}, data_rng);
+  const GFunctionPtr g = MakeX2Log();
+  for (const int levels : {0, 1, 4, 8}) {
+    Rng rng(42);
+    RecursiveGSum sketch(levels, ExactFactory(), rng);
+    for (const Update& u : w.stream.updates()) sketch.Update(u.item, u.delta);
+    EXPECT_NEAR(sketch.Estimate(*g),
+                ExactGSum(w.frequencies, g->AsCallable()),
+                1e-6 * ExactGSum(w.frequencies, g->AsCallable()))
+        << "levels=" << levels;
+  }
+}
+
+TEST(RecursiveSketchTest, ExactCoversExactForSeveralFunctions) {
+  Rng data_rng(2);
+  const Workload w = MakeUniformWorkload(1 << 10, 400, 1, 500,
+                                         StreamShapeOptions{}, data_rng);
+  Rng rng(7);
+  RecursiveGSum sketch(6, ExactFactory(), rng);
+  for (const Update& u : w.stream.updates()) sketch.Update(u.item, u.delta);
+  for (const GFunctionPtr& g :
+       {MakePower(1.0), MakePower(2.0), MakeIndicator(), MakeSpamClickFee(16),
+        MakeGnp()}) {
+    SCOPED_TRACE(g->name());
+    const double truth = ExactGSum(w.frequencies, g->AsCallable());
+    EXPECT_NEAR(sketch.Estimate(*g), truth, 1e-6 * truth);
+  }
+}
+
+TEST(RecursiveSketchTest, EstimateIsNonNegative) {
+  Rng rng(3);
+  RecursiveGSum sketch(4, ExactFactory(), rng);
+  // Empty stream: estimate must clamp to 0, not drift negative.
+  EXPECT_DOUBLE_EQ(sketch.Estimate(*MakePower(2.0)), 0.0);
+}
+
+TEST(RecursiveSketchTest, RoutesUpdatesToNestedLevels) {
+  Rng rng(4);
+  RecursiveGSum sketch(3, ExactFactory(), rng);
+  sketch.Update(5, 10);
+  // Level 0 always sees the item, so even a 1-item stream estimates g
+  // exactly regardless of the deeper levels' sampling.
+  const GFunctionPtr g = MakePower(2.0);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(*g), 100.0);
+}
+
+// End-to-end with the real two-pass heavy hitter subroutine: the estimate
+// concentrates around the truth on a skewed workload.
+TEST(RecursiveSketchTest, TwoPassSubroutineConcentrates) {
+  Rng data_rng(5);
+  const Workload w = MakeZipfWorkload(1 << 12, 1000, 1.3, 50000,
+                                      StreamShapeOptions{}, data_rng);
+  const GFunctionPtr g = MakePower(2.0);
+  const double truth = ExactGSum(w.frequencies, g->AsCallable());
+
+  TwoPassHHOptions hh;
+  hh.count_sketch = {5, 1024};
+  hh.candidates = 48;
+  const GHeavyHitterFactory factory = [hh](int /*level*/, Rng& rng) {
+    return std::make_unique<TwoPassHeavyHitter>(hh, rng);
+  };
+
+  Rng rng(6);
+  std::vector<double> errors;
+  for (int trial = 0; trial < 7; ++trial) {
+    RecursiveGSum sketch(6, factory, rng);
+    for (const Update& u : w.stream.updates()) sketch.Update(u.item, u.delta);
+    sketch.AdvancePass();
+    for (const Update& u : w.stream.updates()) sketch.Update(u.item, u.delta);
+    errors.push_back(RelativeError(sketch.Estimate(*g), truth));
+  }
+  EXPECT_LE(Median(errors), 0.25);
+}
+
+TEST(RecursiveSketchTest, SpaceSumsOverLevels) {
+  Rng rng(8);
+  RecursiveGSum shallow(1, ExactFactory(), rng);
+  RecursiveGSum deep(9, ExactFactory(), rng);
+  shallow.Update(1, 5);
+  deep.Update(1, 5);
+  EXPECT_GT(deep.SpaceBytes(), shallow.SpaceBytes());
+}
+
+TEST(RecursiveSketchTest, PassesReflectSubroutine) {
+  Rng rng(9);
+  RecursiveGSum exact(2, ExactFactory(), rng);
+  EXPECT_EQ(exact.passes(), 1);
+  TwoPassHHOptions hh;
+  const GHeavyHitterFactory factory = [hh](int, Rng& r) {
+    return std::make_unique<TwoPassHeavyHitter>(hh, r);
+  };
+  RecursiveGSum two(2, factory, rng);
+  EXPECT_EQ(two.passes(), 2);
+}
+
+}  // namespace
+}  // namespace gstream

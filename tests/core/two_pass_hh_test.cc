@@ -1,0 +1,138 @@
+#include "core/two_pass_hh.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "gfunc/catalog.h"
+#include "stream/exact.h"
+#include "stream/generators.h"
+
+namespace gstream {
+namespace {
+
+void RunTwoPasses(TwoPassHeavyHitter& hh, const Stream& stream) {
+  for (const Update& u : stream.updates()) hh.Update(u.item, u.delta);
+  hh.AdvancePass();
+  for (const Update& u : stream.updates()) hh.Update(u.item, u.delta);
+}
+
+TEST(TwoPassHHTest, CoverWeightsAreExact) {
+  Rng rng(1);
+  ItemId heavy = 0;
+  const Workload w = MakePlantedHeavyHitterWorkload(
+      1 << 12, 300, 10, 50000, StreamShapeOptions{}, rng, &heavy);
+  TwoPassHHOptions options;
+  options.count_sketch = {5, 512};
+  options.candidates = 32;
+  TwoPassHeavyHitter hh(options, rng);
+  RunTwoPasses(hh, w.stream);
+
+  const GFunctionPtr g = MakePower(2.0);
+  const GCover cover = hh.Cover(*g);
+  ASSERT_FALSE(cover.empty());
+  for (const GCoverEntry& entry : cover) {
+    ASSERT_TRUE(w.frequencies.contains(entry.item));
+    // Pass 2 tabulates exactly: zero error on both frequency and weight.
+    EXPECT_EQ(entry.frequency, w.frequencies.at(entry.item));
+    EXPECT_DOUBLE_EQ(entry.g_value, g->ValueAbs(entry.frequency));
+    EXPECT_TRUE(entry.has_frequency);
+  }
+}
+
+TEST(TwoPassHHTest, FindsAllGHeavyHitters) {
+  Rng rng(2);
+  // Three planted heavies over light background.
+  FrequencyMap freq;
+  for (ItemId i = 0; i < 400; ++i) freq[i] = 1 + static_cast<int64_t>(i % 5);
+  freq[1000] = 20000;
+  freq[1001] = 15000;
+  freq[1002] = 10000;
+  const Workload w =
+      MakeStreamFromFrequencies(2048, freq, StreamShapeOptions{}, rng);
+  TwoPassHHOptions options;
+  options.count_sketch = {5, 1024};
+  options.candidates = 16;
+  TwoPassHeavyHitter hh(options, rng);
+  RunTwoPasses(hh, w.stream);
+
+  const GFunctionPtr g = MakePower(2.0);
+  const GCover cover = hh.Cover(*g);
+  std::unordered_set<ItemId> covered;
+  for (const GCoverEntry& e : cover) covered.insert(e.item);
+  for (const auto& [item, value] :
+       ExactGHeavyHitters(w.frequencies, g->AsCallable(), 0.05)) {
+    EXPECT_TRUE(covered.contains(item)) << "missed heavy item " << item;
+  }
+}
+
+TEST(TwoPassHHTest, SecondPassIgnoresNonCandidates) {
+  Rng rng(3);
+  TwoPassHHOptions options;
+  options.count_sketch = {5, 256};
+  options.candidates = 2;
+  TwoPassHeavyHitter hh(options, rng);
+  // Two dominant items + noise; only <= 2 candidates survive to pass 2.
+  Stream stream(512);
+  stream.Append(1, 10000);
+  stream.Append(2, 9000);
+  for (ItemId i = 10; i < 200; ++i) stream.Append(i, 1);
+  RunTwoPasses(hh, stream);
+  const GCover cover = hh.Cover(*MakePower(1.0));
+  EXPECT_LE(cover.size(), 2u);
+}
+
+TEST(TwoPassHHTest, ZeroNetFrequencyCandidateDropped) {
+  Rng rng(4);
+  TwoPassHHOptions options;
+  options.count_sketch = {5, 256};
+  options.candidates = 8;
+  TwoPassHeavyHitter hh(options, rng);
+  Stream stream(64);
+  stream.Append(5, 10000);   // looks heavy in pass 1
+  stream.Append(5, -10000);  // cancels before pass 1 ends
+  stream.Append(7, 500);
+  RunTwoPasses(hh, stream);
+  for (const GCoverEntry& e : hh.Cover(*MakePower(1.0))) {
+    EXPECT_NE(e.item, 5u);
+  }
+}
+
+TEST(TwoPassHHTest, CoverIndependentOfQueryFunctionFrequencies) {
+  Rng rng(5);
+  ItemId heavy = 0;
+  const Workload w = MakePlantedHeavyHitterWorkload(
+      1 << 10, 100, 5, 9999, StreamShapeOptions{}, rng, &heavy);
+  TwoPassHHOptions options;
+  options.count_sketch = {5, 512};
+  options.candidates = 16;
+  TwoPassHeavyHitter hh(options, rng);
+  RunTwoPasses(hh, w.stream);
+  // Same candidate frequencies, different g weights.
+  const GCover c1 = hh.Cover(*MakePower(1.0));
+  const GCover c2 = hh.Cover(*MakePower(2.0));
+  ASSERT_EQ(c1.size(), c2.size());
+  for (size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_EQ(c1[i].item, c2[i].item);
+    EXPECT_EQ(c1[i].frequency, c2[i].frequency);
+  }
+}
+
+TEST(TwoPassHHDeathTest, CoverBeforeSecondPassRejected) {
+  Rng rng(6);
+  TwoPassHHOptions options;
+  TwoPassHeavyHitter hh(options, rng);
+  hh.Update(1, 5);
+  EXPECT_DEATH(hh.Cover(*MakePower(1.0)), "GSTREAM_CHECK");
+}
+
+TEST(TwoPassHHDeathTest, ThirdPassRejected) {
+  Rng rng(7);
+  TwoPassHHOptions options;
+  TwoPassHeavyHitter hh(options, rng);
+  hh.AdvancePass();
+  EXPECT_DEATH(hh.AdvancePass(), "GSTREAM_CHECK");
+}
+
+}  // namespace
+}  // namespace gstream

@@ -1,0 +1,87 @@
+#include "gfunc/classifier.h"
+
+#include <gtest/gtest.h>
+
+namespace gstream {
+namespace {
+
+PropertyCheckOptions MediumDomain() {
+  PropertyCheckOptions options;
+  options.domain_max = 1 << 16;
+  return options;
+}
+
+// Representative verdicts on a medium domain (fast); the full catalog sweep
+// on the default domain lives in properties_test / experiment E10.
+TEST(ClassifierTest, QuadraticIsOnePass) {
+  const ClassificationResult r = Classify(*MakePower(2.0), MediumDomain());
+  EXPECT_EQ(r.verdict, Verdict::kOnePassTractable);
+  EXPECT_TRUE(r.slow_jumping.holds);
+  EXPECT_TRUE(r.slow_dropping.holds);
+  EXPECT_TRUE(r.predictable.holds);
+}
+
+TEST(ClassifierTest, SinModulatedIsTwoPassOnly) {
+  // The sin-modulated quadratic needs a deeper domain than the other
+  // cases: its alpha=0.25 slow-jumping violations (trough x, peak y ~ 2x)
+  // only die out around x ~ 2^15, so the persistence cutoff must sit
+  // above that.
+  PropertyCheckOptions options;
+  options.domain_max = 1 << 18;
+  const ClassificationResult r = Classify(*MakeSinModulated(), options);
+  EXPECT_EQ(r.verdict, Verdict::kTwoPassTractable);
+  EXPECT_TRUE(r.slow_jumping.holds);
+  EXPECT_TRUE(r.slow_dropping.holds);
+  EXPECT_FALSE(r.predictable.holds);
+}
+
+TEST(ClassifierTest, CubicIsIntractable) {
+  const ClassificationResult r = Classify(*MakePower(3.0), MediumDomain());
+  EXPECT_EQ(r.verdict, Verdict::kIntractable);
+  EXPECT_FALSE(r.slow_jumping.holds);
+  EXPECT_FALSE(r.nearly_periodic.holds);
+}
+
+TEST(ClassifierTest, InverseIsIntractable) {
+  const ClassificationResult r =
+      Classify(*MakeInversePoly(1.0), MediumDomain());
+  EXPECT_EQ(r.verdict, Verdict::kIntractable);
+  EXPECT_FALSE(r.slow_dropping.holds);
+  EXPECT_FALSE(r.nearly_periodic.holds);
+}
+
+TEST(ClassifierTest, GnpIsNearlyPeriodic) {
+  const ClassificationResult r = Classify(*MakeGnp(), MediumDomain());
+  EXPECT_EQ(r.verdict, Verdict::kNearlyPeriodic);
+  EXPECT_FALSE(r.slow_dropping.holds);
+  EXPECT_TRUE(r.nearly_periodic.holds);
+}
+
+TEST(ClassifierTest, ReportsEnvelope) {
+  const ClassificationResult r = Classify(*MakePower(2.0), MediumDomain());
+  EXPECT_DOUBLE_EQ(r.h_envelope, 1.0);
+  const ClassificationResult r3 = Classify(*MakePower(3.0), MediumDomain());
+  EXPECT_GT(r3.h_envelope, 1000.0);
+}
+
+// Proposition 10 in spirit: every verdict is one of the four classes and
+// tractable verdicts imply both slow properties.
+TEST(ClassifierTest, VerdictConsistency) {
+  for (const GFunctionPtr& g :
+       {MakePower(1.0), MakeX2Log(), MakeSinSqrtModulated(),
+        MakeSpamClickFee(16)}) {
+    SCOPED_TRACE(g->name());
+    const ClassificationResult r = Classify(*g, MediumDomain());
+    if (r.verdict == Verdict::kOnePassTractable ||
+        r.verdict == Verdict::kTwoPassTractable) {
+      EXPECT_TRUE(r.slow_jumping.holds);
+      EXPECT_TRUE(r.slow_dropping.holds);
+    }
+    if (r.verdict == Verdict::kOnePassTractable) {
+      EXPECT_TRUE(r.predictable.holds);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gstream

@@ -1,0 +1,116 @@
+#include "gfunc/envelope.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gfunc/catalog.h"
+
+namespace gstream {
+namespace {
+
+TEST(DropEnvelopeTest, MonotoneIncreasingFunctionHasUnitEnvelope) {
+  const auto table = EvaluateTable(*MakePower(2.0), 4096);
+  EXPECT_DOUBLE_EQ(DropEnvelope(table), 1.0);
+}
+
+TEST(DropEnvelopeTest, InverseFunctionEnvelopeIsDomainSize) {
+  // g = 1/x on [1, M]: worst drop is g(1)/g(M) = M.
+  const int64_t m = 1024;
+  const auto table = EvaluateTable(*MakeInversePoly(1.0), m);
+  EXPECT_NEAR(DropEnvelope(table), static_cast<double>(m), 1e-6);
+}
+
+TEST(DropEnvelopeTest, GnpEnvelopeIsLargestPowerOfTwo) {
+  const auto table = EvaluateTable(*MakeGnp(), 1 << 10);
+  EXPECT_DOUBLE_EQ(DropEnvelope(table), 1024.0);
+}
+
+TEST(DropEnvelopeTest, SinModulatedBoundedByNine) {
+  // (2+sin)x^2 normalized: drops only via the modulation, a factor <= 3
+  // squared ratio at adjacent scales; the envelope stays a small constant.
+  const auto table = EvaluateTable(*MakeSinModulated(), 1 << 12);
+  EXPECT_GE(DropEnvelope(table), 1.0);
+  EXPECT_LE(DropEnvelope(table), 3.1);
+}
+
+TEST(JumpEnvelopeTest, QuadraticIsTight) {
+  // g = x^2 grows exactly quadratically: H_j = 1.
+  const auto table = EvaluateTable(*MakePower(2.0), 4096);
+  EXPECT_DOUBLE_EQ(JumpEnvelope(table), 1.0);
+}
+
+TEST(JumpEnvelopeTest, CubicEnvelopeIsDomainSize) {
+  // g = x^3: g(y) x^2 / (y^2 g(x)) maximized at x=1, y=M gives M.
+  const int64_t m = 2048;
+  const auto table = EvaluateTable(*MakePower(3.0), m);
+  EXPECT_NEAR(JumpEnvelope(table), static_cast<double>(m), 1e-6);
+}
+
+TEST(JumpEnvelopeTest, SubQuadraticPowersStayConstant) {
+  for (double p : {0.5, 1.0, 1.5, 2.0}) {
+    const auto table = EvaluateTable(*MakePower(p), 4096);
+    EXPECT_LE(JumpEnvelope(table), 1.0 + 1e-9) << "p=" << p;
+  }
+}
+
+TEST(HEnvelopeTest, IsMaxOfBothAndAtLeastOne) {
+  const auto table = EvaluateTable(*MakeX2Log(), 4096);
+  const double h = HEnvelope(table);
+  EXPECT_GE(h, DropEnvelope(table));
+  EXPECT_GE(h, JumpEnvelope(table));
+  EXPECT_GE(h, 1.0);
+}
+
+TEST(HEnvelopeTest, TractableFunctionsHaveSmallEnvelopes) {
+  // The quantitative heart of Lemma 17: for the 1-pass tractable catalog
+  // functions, H(M) stays polylogarithmic -- here simply "small" on M=2^16.
+  for (const CatalogEntry& entry : BuiltinCatalog()) {
+    if (entry.expected_verdict != Verdict::kOnePassTractable) continue;
+    SCOPED_TRACE(entry.g->name());
+    const auto table = EvaluateTable(*entry.g, 1 << 16);
+    EXPECT_LE(HEnvelope(table), 32.0);
+  }
+}
+
+TEST(HEnvelopeTest, IntractableFunctionsBlowUp) {
+  for (const CatalogEntry& entry : BuiltinCatalog()) {
+    if (entry.expected_verdict != Verdict::kIntractable) continue;
+    SCOPED_TRACE(entry.g->name());
+    const auto table = EvaluateTable(*entry.g, 1 << 16);
+    // Polynomially large: at least M^0.5 = 256 on this domain.
+    EXPECT_GE(HEnvelope(table), 256.0);
+  }
+}
+
+TEST(PredictabilityRadiusTest, QuadraticRadiusScalesLinearly) {
+  const GFunctionPtr g = MakePower(2.0);
+  // |(x+r)^2 - x^2| <= eps x^2 roughly when r <= eps x / 2.
+  const int64_t r1000 = PredictabilityRadius(*g, 1000, 0.2, 1 << 20);
+  EXPECT_GE(r1000, 80);
+  EXPECT_LE(r1000, 105);
+  const int64_t r2000 = PredictabilityRadius(*g, 2000, 0.2, 1 << 20);
+  EXPECT_NEAR(static_cast<double>(r2000) / static_cast<double>(r1000), 2.0,
+              0.2);
+}
+
+TEST(PredictabilityRadiusTest, IndicatorHasUnboundedRadius) {
+  const GFunctionPtr g = MakeIndicator();
+  // Constant on x > 0... until the window reaches 0 where g drops to 0.
+  EXPECT_EQ(PredictabilityRadius(*g, 100, 0.5, 50), 50);
+  EXPECT_EQ(PredictabilityRadius(*g, 100, 0.5, 1 << 12), 99);
+}
+
+TEST(PredictabilityRadiusTest, SinModulatedRadiusIsTiny) {
+  const GFunctionPtr g = MakeSinModulated();
+  // (2+sin x) swings by a constant within a couple of integers.
+  EXPECT_LE(PredictabilityRadius(*g, 100000, 0.1, 1 << 12), 4);
+}
+
+TEST(PredictabilityRadiusTest, CapRespected) {
+  const GFunctionPtr g = MakeIndicator();
+  EXPECT_EQ(PredictabilityRadius(*g, 10, 0.5, 3), 3);
+}
+
+}  // namespace
+}  // namespace gstream

@@ -1,0 +1,139 @@
+#include "gfunc/g0.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gfunc/transforms.h"
+
+namespace gstream {
+namespace {
+
+PropertyCheckOptions SmallDomain() {
+  PropertyCheckOptions options;
+  options.domain_max = 1 << 14;
+  return options;
+}
+
+TEST(G0FunctionTest, PinsValueAtZeroOnly) {
+  const GFunctionPtr g = MakeG0Function(MakePower(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(g->Value(0), 1.0);
+  EXPECT_DOUBLE_EQ(g->Value(1), 1.0);
+  EXPECT_DOUBLE_EQ(g->Value(5), 25.0);
+}
+
+TEST(G0ScreenTest, PositiveFunctionCleanScreen) {
+  const GFunctionPtr g = MakeG0Function(MakePower(2.0), 1.0);
+  const G0ScreenResult screen = ScreenG0(*g, 1 << 12);
+  EXPECT_FALSE(screen.crosses_axis);
+  EXPECT_FALSE(screen.has_zero_point);
+}
+
+TEST(G0ScreenTest, DetectsAxisCrossing) {
+  // Override one point of x^2 to a negative value (a cos-like dip).
+  class Crossing : public GFunction {
+   public:
+    double Value(int64_t x) const override {
+      if (x == 0) return 1.0;
+      return (x == 7) ? -3.0 : static_cast<double>(x);
+    }
+    std::string name() const override { return "crossing"; }
+  };
+  const G0ScreenResult screen = ScreenG0(Crossing(), 1 << 10);
+  EXPECT_TRUE(screen.crosses_axis);
+  EXPECT_EQ(screen.negative_witness, 7);
+}
+
+TEST(G0ScreenTest, DetectsZeroPointWithoutPeriodicity) {
+  class ZeroAt5 : public GFunction {
+   public:
+    double Value(int64_t x) const override {
+      if (x == 0) return 1.0;
+      return (x == 5) ? 0.0 : static_cast<double>(x);
+    }
+    std::string name() const override { return "zero_at_5"; }
+  };
+  const G0ScreenResult screen = ScreenG0(ZeroAt5(), 1 << 10);
+  EXPECT_TRUE(screen.has_zero_point);
+  EXPECT_EQ(screen.zero_witness, 5);
+  EXPECT_FALSE(screen.periodic_escape);
+}
+
+TEST(G0ScreenTest, PeriodicZeroEscapes) {
+  // Proposition 38's escape: period 2 * zero point, e.g. |sin(pi x / 2)|
+  // discretized -- zeros at even x, period 4 from zero at 2... simplest:
+  // g with period 2 and zero at 1: g(odd) = 0, g(even) = 1.
+  class Alternating : public GFunction {
+   public:
+    double Value(int64_t x) const override {
+      return (x % 2 == 0) ? 1.0 : 0.0;
+    }
+    std::string name() const override { return "alternating"; }
+  };
+  const G0ScreenResult screen = ScreenG0(Alternating(), 1 << 10);
+  EXPECT_TRUE(screen.has_zero_point);
+  EXPECT_EQ(screen.zero_witness, 1);
+  EXPECT_TRUE(screen.periodic_escape);
+}
+
+TEST(G0ClassifyTest, AxisCrossingIsOmegaN) {
+  class Crossing : public GFunction {
+   public:
+    double Value(int64_t x) const override {
+      if (x == 0) return 1.0;
+      return (x == 7) ? -3.0 : static_cast<double>(x);
+    }
+    std::string name() const override { return "crossing"; }
+  };
+  const G0Classification result = ClassifyG0(Crossing(), SmallDomain());
+  EXPECT_TRUE(result.omega_n);
+  EXPECT_EQ(result.verdict, Verdict::kIntractable);
+}
+
+TEST(G0ClassifyTest, PositiveG0FollowsTheLaw) {
+  // Theorems 39-41: for strictly positive g0 the restriction to x >= 1
+  // obeys the same zero-one law.
+  const G0Classification quad =
+      ClassifyG0(*MakeG0Function(MakePower(2.0), 1.0), SmallDomain());
+  EXPECT_FALSE(quad.omega_n);
+  EXPECT_EQ(quad.verdict, Verdict::kOnePassTractable);
+
+  const G0Classification inv =
+      ClassifyG0(*MakeG0Function(MakeInversePoly(1.0), 2.0), SmallDomain());
+  EXPECT_FALSE(inv.omega_n);
+  EXPECT_EQ(inv.verdict, Verdict::kIntractable);
+}
+
+TEST(G0ClassifyTest, PeriodicZeroClassifiedAsEscape) {
+  class Alternating : public GFunction {
+   public:
+    double Value(int64_t x) const override {
+      return (x % 2 == 0) ? 1.0 : 0.0;
+    }
+    std::string name() const override { return "alternating"; }
+  };
+  const G0Classification result =
+      ClassifyG0(Alternating(), SmallDomain());
+  EXPECT_EQ(result.verdict, Verdict::kNearlyPeriodic);
+}
+
+TEST(G0ClassifyTest, NonPeriodicZeroIntractable) {
+  class ZeroAt5 : public GFunction {
+   public:
+    double Value(int64_t x) const override {
+      if (x == 0) return 1.0;
+      return (x == 5) ? 0.0 : static_cast<double>(x);
+    }
+    std::string name() const override { return "zero_at_5"; }
+  };
+  const G0Classification result = ClassifyG0(ZeroAt5(), SmallDomain());
+  EXPECT_FALSE(result.omega_n);
+  EXPECT_EQ(result.verdict, Verdict::kIntractable);
+}
+
+TEST(G0FunctionDeathTest, RejectsNonPositiveAtZero) {
+  EXPECT_DEATH(MakeG0Function(MakePower(2.0), 0.0), "GSTREAM_CHECK");
+}
+
+}  // namespace
+}  // namespace gstream

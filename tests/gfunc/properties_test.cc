@@ -1,0 +1,139 @@
+#include "gfunc/properties.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <string>
+
+#include "gfunc/catalog.h"
+
+namespace gstream {
+namespace {
+
+PropertyCheckOptions OptionsForEntry(const CatalogEntry& entry) {
+  PropertyCheckOptions options;
+  if (entry.classify_domain_hint > 0) {
+    options.domain_max = entry.classify_domain_hint;
+  }
+  return options;
+}
+
+// The three property checkers reproduce the paper's ground-truth columns
+// for every catalog function (Definitions 6-8, worked examples of Sections
+// 3 and 4.6); this is the library's core characterization machinery.
+class CatalogPropertySweep : public ::testing::TestWithParam<size_t> {
+ protected:
+  static const std::vector<CatalogEntry>& Catalog() {
+    static const std::vector<CatalogEntry>* catalog =
+        new std::vector<CatalogEntry>(BuiltinCatalog());
+    return *catalog;
+  }
+};
+
+TEST_P(CatalogPropertySweep, SlowJumpingMatchesPaper) {
+  const CatalogEntry& entry = Catalog()[GetParam()];
+  SCOPED_TRACE(entry.g->name());
+  const PropertyResult r =
+      CheckSlowJumping(*entry.g, OptionsForEntry(entry));
+  EXPECT_EQ(r.holds, entry.slow_jumping)
+      << "witness x=" << r.x << " y=" << r.y << " lhs=" << r.lhs
+      << " rhs=" << r.rhs;
+}
+
+TEST_P(CatalogPropertySweep, SlowDroppingMatchesPaper) {
+  const CatalogEntry& entry = Catalog()[GetParam()];
+  SCOPED_TRACE(entry.g->name());
+  const PropertyResult r =
+      CheckSlowDropping(*entry.g, OptionsForEntry(entry));
+  EXPECT_EQ(r.holds, entry.slow_dropping)
+      << "witness x=" << r.x << " y=" << r.y << " lhs=" << r.lhs
+      << " rhs=" << r.rhs;
+}
+
+TEST_P(CatalogPropertySweep, PredictableMatchesPaper) {
+  const CatalogEntry& entry = Catalog()[GetParam()];
+  SCOPED_TRACE(entry.g->name());
+  const PropertyResult r =
+      CheckPredictable(*entry.g, OptionsForEntry(entry));
+  EXPECT_EQ(r.holds, entry.predictable)
+      << "witness x=" << r.x << " y=" << r.y << " lhs=" << r.lhs
+      << " rhs=" << r.rhs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCatalogFunctions, CatalogPropertySweep,
+    ::testing::Range<size_t>(0, BuiltinCatalog().size()),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      std::string name = BuiltinCatalog()[info.param].g->name();
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(NearlyPeriodicScreenTest, GnpPasses) {
+  const PropertyResult r =
+      CheckNearlyPeriodic(*MakeGnp(), PropertyCheckOptions{});
+  EXPECT_TRUE(r.holds);
+}
+
+TEST(NearlyPeriodicScreenTest, InversePolyFails) {
+  // 1/x has persistent drops (condition 1 holds) but the drops are not
+  // repaired: g(x + y) is far from g(x).
+  const PropertyResult r =
+      CheckNearlyPeriodic(*MakeInversePoly(1.0), PropertyCheckOptions{});
+  EXPECT_FALSE(r.holds);
+}
+
+TEST(NearlyPeriodicScreenTest, PowerHasNoPeriods) {
+  // x^3 never drops, so condition 1 of Definition 9 fails outright.
+  const PropertyResult r =
+      CheckNearlyPeriodic(*MakePower(3.0), PropertyCheckOptions{});
+  EXPECT_FALSE(r.holds);
+}
+
+TEST(PropertyCheckerTest, SlowDroppingWitnessIsConcrete) {
+  PropertyCheckOptions options;
+  const PropertyResult r = CheckSlowDropping(*MakeInversePoly(1.0), options);
+  ASSERT_FALSE(r.holds);
+  // The reported witness must genuinely violate Definition 7.
+  const GFunctionPtr g = MakeInversePoly(1.0);
+  EXPECT_LT(r.x, r.y);
+  EXPECT_LT(g->Value(r.y),
+            g->Value(r.x) / std::pow(static_cast<double>(r.y),
+                                     options.alpha));
+}
+
+TEST(PropertyCheckerTest, SlowJumpingWitnessIsConcrete) {
+  PropertyCheckOptions options;
+  const PropertyResult r = CheckSlowJumping(*MakePower(3.0), options);
+  ASSERT_FALSE(r.holds);
+  const GFunctionPtr g = MakePower(3.0);
+  const double rhs =
+      std::pow(static_cast<double>(r.y / r.x), 2.0 + options.alpha) *
+      std::pow(static_cast<double>(r.x), options.alpha) * g->Value(r.x);
+  EXPECT_GT(g->Value(r.y), rhs);
+}
+
+TEST(PropertyCheckerTest, SmallDomainStillWorksForClearCases) {
+  PropertyCheckOptions options;
+  options.domain_max = 1 << 14;
+  EXPECT_TRUE(CheckSlowJumping(*MakePower(2.0), options).holds);
+  EXPECT_FALSE(CheckSlowJumping(*MakePower(3.0), options).holds);
+  EXPECT_TRUE(CheckSlowDropping(*MakePower(2.0), options).holds);
+  EXPECT_FALSE(CheckSlowDropping(*MakeInversePoly(0.5), options).holds);
+}
+
+TEST(PropertyCheckerTest, DeterministicAcrossRuns) {
+  PropertyCheckOptions options;
+  options.domain_max = 1 << 14;
+  const PropertyResult a = CheckPredictable(*MakeSinModulated(), options);
+  const PropertyResult b = CheckPredictable(*MakeSinModulated(), options);
+  EXPECT_EQ(a.holds, b.holds);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+}
+
+}  // namespace
+}  // namespace gstream

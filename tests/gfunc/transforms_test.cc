@@ -1,0 +1,100 @@
+#include "gfunc/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gfunc/classifier.h"
+#include "gfunc/metric.h"
+#include "gfunc/properties.h"
+
+namespace gstream {
+namespace {
+
+TEST(LEtaTransformTest, ValuesMatchDefinition55) {
+  const GFunctionPtr base = MakePower(2.0);
+  const GFunctionPtr lg = MakeLEtaTransform(base, 1.0);
+  // L_1(x^2)(x) = x^2 log(1+x), renormalized by 1/log 2.
+  EXPECT_DOUBLE_EQ(lg->Value(0), 0.0);
+  EXPECT_DOUBLE_EQ(lg->Value(1), 1.0);
+  EXPECT_NEAR(lg->Value(10), 100.0 * std::log(11.0) / std::log(2.0), 1e-9);
+}
+
+TEST(LEtaTransformTest, EtaZeroIsIdentityUpToScale) {
+  const GFunctionPtr base = MakeX2Log();
+  const GFunctionPtr same = MakeLEtaTransform(base, 0.0);
+  for (int64_t x : {1, 5, 100, 10000}) {
+    EXPECT_NEAR(same->Value(x), base->Value(x), 1e-9 * base->Value(x));
+  }
+}
+
+// Theorem 31: L_eta preserves the three properties of a 1-pass tractable
+// normal function.  (eta = 0.5 keeps the alpha = 0.25 finite-domain
+// instantiation of slow-jumping meaningful: for larger eta the x = 1
+// violations of g(y) <= y^{2+alpha} persist to ~2^30, far beyond any
+// domain we can probe, even though the asymptotic property holds.)
+TEST(LEtaTransformTest, PreservesTractabilityOfQuadratic) {
+  PropertyCheckOptions options;
+  options.domain_max = 1 << 16;
+  const GFunctionPtr lg = MakeLEtaTransform(MakePower(2.0), 0.5);
+  const ClassificationResult r = Classify(*lg, options);
+  EXPECT_EQ(r.verdict, Verdict::kOnePassTractable);
+}
+
+// Theorem 30: L_eta breaks every nearly periodic function -- L_eta(g_np)
+// is no longer slow-dropping *and* no longer nearly periodic.
+TEST(LEtaTransformTest, BreaksGnp) {
+  PropertyCheckOptions options;
+  options.domain_max = 1 << 16;
+  const GFunctionPtr lg = MakeLEtaTransform(MakeGnp(), 1.0);
+  const ClassificationResult r = Classify(*lg, options);
+  EXPECT_EQ(r.verdict, Verdict::kIntractable);
+  EXPECT_FALSE(r.slow_dropping.holds);
+  EXPECT_FALSE(r.nearly_periodic.holds);
+}
+
+TEST(OverrideGTest, OverridesSelectedPointsOnly) {
+  const GFunctionPtr base = MakePower(2.0);
+  const GFunctionPtr h = MakeOverrideG(base, {{10, 5.0}, {20, 7.0}});
+  EXPECT_DOUBLE_EQ(h->Value(10), 5.0);
+  EXPECT_DOUBLE_EQ(h->Value(20), 7.0);
+  EXPECT_DOUBLE_EQ(h->Value(11), 121.0);
+  EXPECT_DOUBLE_EQ(h->Value(0), 0.0);
+}
+
+// Theorem 64: perturbing a nearly periodic g at its period pairs by (1 +
+// delta) yields h at Theta distance exactly log(1+delta) that is 1-pass
+// intractable (not slow-dropping, not nearly periodic).
+TEST(Theorem64Test, PerturbationDistanceAndIntractability) {
+  const double delta = 0.5;
+  const GFunctionPtr g = MakeGnp();
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  for (int k = 6; k <= 14; ++k) {
+    // (x_k, y_k) with x_k odd (g=1) and y_k = 2^k an alpha-period.
+    pairs.emplace_back((int64_t{1} << (k - 1)) + 1, int64_t{1} << k);
+  }
+  const GFunctionPtr h = MakeTheorem64Perturbation(g, pairs, delta);
+
+  EXPECT_NEAR(ThetaDistance(*g, *h, 1 << 15), std::log1p(delta), 1e-9);
+
+  PropertyCheckOptions options;
+  options.domain_max = 1 << 15;
+  const ClassificationResult r = Classify(*h, options);
+  EXPECT_FALSE(r.slow_dropping.holds);
+  EXPECT_FALSE(r.nearly_periodic.holds)
+      << "witness x=" << r.nearly_periodic.x
+      << " y=" << r.nearly_periodic.y;
+  EXPECT_EQ(r.verdict, Verdict::kIntractable);
+}
+
+TEST(Theorem64DeathTest, RejectsNonPositiveDelta) {
+  EXPECT_DEATH(MakeTheorem64Perturbation(MakeGnp(), {{3, 8}}, 0.0),
+               "GSTREAM_CHECK");
+}
+
+TEST(OverrideGDeathTest, RejectsNonPositiveOverride) {
+  EXPECT_DEATH(MakeOverrideG(MakePower(2.0), {{4, 0.0}}), "GSTREAM_CHECK");
+}
+
+}  // namespace
+}  // namespace gstream

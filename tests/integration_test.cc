@@ -1,0 +1,151 @@
+// Cross-module integration scenarios: each test runs a miniature version
+// of one of the experiments in bench/ and asserts its qualitative outcome.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/index_problem.h"
+#include "core/gsum.h"
+#include "gfunc/classifier.h"
+#include "stream/exact.h"
+#include "stream/generators.h"
+#include "util/stats.h"
+
+namespace gstream {
+namespace {
+
+// Theorem 3's separation, end to end: on a stream concentrated at a
+// volatile scale of (2+sin x) x^2, the two-pass estimator succeeds while
+// the one-pass estimator (whose pruning must reject the unstable
+// candidates) underestimates badly.
+TEST(IntegrationTest, TwoPassBeatsOnePassOnNonPredictableFunction) {
+  const GFunctionPtr g = MakeSinModulated();
+  Rng rng(1);
+  // Mass at x where sin(x) ~ -1 so a +-1 estimate error flips g by ~3x.
+  // x = 11 (sin = -0.99997): neighbors 10, 12 have sin -0.54, -0.53.
+  std::vector<HistogramBucket> buckets = {{11, 200}, {3, 400}};
+  const Workload w =
+      MakeHistogramWorkload(1 << 12, buckets, StreamShapeOptions{}, rng);
+  const double truth = ExactGSum(w.frequencies, g->AsCallable());
+
+  auto run = [&](int passes, uint64_t seed) {
+    GSumOptions options;
+    options.passes = passes;
+    options.cs_buckets = 2048;
+    options.candidates = 64;
+    options.repetitions = 5;
+    options.epsilon = 0.1;
+    options.seed = seed;
+    GSumEstimator estimator(g, w.stream.domain(), options);
+    return RelativeError(estimator.Process(w.stream), truth);
+  };
+
+  std::vector<double> one_pass, two_pass;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    one_pass.push_back(run(1, seed));
+    two_pass.push_back(run(2, seed));
+  }
+  EXPECT_LE(Median(two_pass), 0.15);
+  // The one-pass algorithm cannot certify stability at the volatile scale:
+  // expect a distinctly worse median error.
+  EXPECT_GT(Median(one_pass), 2.0 * Median(two_pass));
+}
+
+// Lemma 23's obstruction, end to end: for g = 1/x a small sketch cannot
+// distinguish INDEX reduction instances (success ~ 1/2), because the
+// decisive item is g-heavy but F2-light.
+TEST(IntegrationTest, InverseFunctionIndexReductionDefeatsSmallSketch) {
+  const GFunctionPtr g = MakeInversePoly(1.0);
+  const IndexReductionShape shape{/*alice_frequency=*/512,
+                                  /*bob_frequency=*/1};
+  Rng rng(2);
+  int correct = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    const IndexInstance inst = MakeIndexInstance(512, rng);
+    const Stream stream = BuildIndexReductionStream(inst, shape);
+    GSumOptions options;
+    options.passes = 1;
+    options.cs_buckets = 256;
+    options.candidates = 16;
+    options.repetitions = 3;
+    options.seed = 1000 + static_cast<uint64_t>(t);
+    GSumEstimator estimator(g, stream.domain(), options);
+    const double estimate = estimator.Process(stream);
+    const DistinguishingOutcomes o =
+        IndexReductionOutcomes(*g, inst.alice_set.size(), shape);
+    if (DecideIntersecting(estimate, o) == inst.intersecting) ++correct;
+  }
+  // Coin-flip territory: far from the 2/3 success a tractable-distance
+  // distinguisher would need.  (Binomial(30, 0.5): >= 25 has p ~ 2e-4.)
+  EXPECT_LE(correct, 24);
+}
+
+// The same sketch budget easily solves an equally-gapped distinguishing
+// task for a tractable function: presence/absence of one F2-dominant item.
+TEST(IntegrationTest, QuadraticDistinguishesHeavyItemAtSameBudget) {
+  const GFunctionPtr g = MakePower(2.0);
+  Rng rng(3);
+  int correct = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    const bool planted = rng.Bernoulli(0.5);
+    FrequencyMap freq;
+    for (ItemId i = 0; i < 256; ++i) freq[i] = 1;
+    if (planted) freq[400] = 64;  // g-share: 4096 / (4096 + 256) = 0.94
+    const Workload w =
+        MakeStreamFromFrequencies(512, freq, StreamShapeOptions{}, rng);
+    GSumOptions options;
+    options.passes = 1;
+    options.cs_buckets = 256;
+    options.candidates = 16;
+    options.repetitions = 3;
+    options.seed = 2000 + static_cast<uint64_t>(t);
+    GSumEstimator estimator(g, w.stream.domain(), options);
+    const double estimate = estimator.Process(w.stream);
+    const double mid = 256.0 + 4096.0 / 2.0;
+    if ((estimate > mid) == planted) ++correct;
+  }
+  EXPECT_GE(correct, 27);
+}
+
+// The classifier and the estimator agree: a function classified 1-pass
+// tractable achieves small error with the 1-pass estimator.
+TEST(IntegrationTest, ClassifierVerdictPredictsEstimatorBehavior) {
+  const GFunctionPtr g = MakeX2Log();
+  // Default (deep) domain: x^2 lg(1+x) has x = 1 slow-jumping violations
+  // up to y ~ 2^17 that a shallow probe window would misread.
+  const PropertyCheckOptions check;
+  ASSERT_EQ(Classify(*g, check).verdict, Verdict::kOnePassTractable);
+
+  Rng rng(4);
+  const Workload w = MakeZipfWorkload(1 << 12, 800, 1.5, 30000,
+                                      StreamShapeOptions{}, rng);
+  const double truth = ExactGSum(w.frequencies, g->AsCallable());
+  GSumOptions options;
+  options.passes = 1;
+  options.cs_buckets = 1024;
+  options.candidates = 48;
+  options.repetitions = 5;
+  GSumEstimator estimator(g, w.stream.domain(), options);
+  EXPECT_NEAR(estimator.Process(w.stream) / truth, 1.0, 0.3);
+}
+
+// Determinism across the whole stack: identical seeds give identical
+// estimates even through multi-level, multi-repetition machinery.
+TEST(IntegrationTest, FullStackDeterminism) {
+  Rng rng(5);
+  const Workload w = MakeZipfWorkload(1 << 12, 500, 1.3, 10000,
+                                      StreamShapeOptions{}, rng);
+  const GFunctionPtr g = MakeSpamClickFee(16);
+  GSumOptions options;
+  options.passes = 2;
+  options.repetitions = 3;
+  GSumEstimator a(g, w.stream.domain(), options);
+  GSumEstimator b(g, w.stream.domain(), options);
+  EXPECT_DOUBLE_EQ(a.Process(w.stream), b.Process(w.stream));
+}
+
+}  // namespace
+}  // namespace gstream

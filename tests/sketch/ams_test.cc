@@ -1,0 +1,89 @@
+#include "sketch/ams.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stream/exact.h"
+#include "stream/generators.h"
+
+namespace gstream {
+namespace {
+
+TEST(AmsTest, SingleItemF2Exact) {
+  Rng rng(1);
+  AmsSketch ams(AmsOptions{8, 5}, rng);
+  ams.Update(3, 100);
+  // One item: every estimator holds +-100, squares to exactly 10000.
+  EXPECT_DOUBLE_EQ(ams.EstimateF2(), 10000.0);
+}
+
+TEST(AmsTest, DeletionsCancel) {
+  Rng rng(2);
+  AmsSketch ams(AmsOptions{8, 5}, rng);
+  ams.Update(3, 100);
+  ams.Update(3, -100);
+  EXPECT_DOUBLE_EQ(ams.EstimateF2(), 0.0);
+}
+
+// Accuracy sweep: relative error shrinks as group_size grows.
+class AmsAccuracySweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AmsAccuracySweep, MedianWithinExpectedBand) {
+  const size_t group_size = GetParam();
+  Rng data_rng(77);
+  const Workload w = MakeZipfWorkload(1 << 12, 1500, 1.0, 5000,
+                                      StreamShapeOptions{}, data_rng);
+  const double truth = ExactMoment(w.frequencies, 2.0);
+  // Median over independent sketch draws should concentrate within
+  // ~3/sqrt(group_size) relative error.
+  Rng sketch_rng(88);
+  std::vector<double> errors;
+  for (int trial = 0; trial < 9; ++trial) {
+    AmsSketch ams(AmsOptions{group_size, 5}, sketch_rng);
+    ProcessStream(ams, w.stream);
+    errors.push_back(std::fabs(ams.EstimateF2() - truth) / truth);
+  }
+  std::sort(errors.begin(), errors.end());
+  const double median_err = errors[errors.size() / 2];
+  EXPECT_LT(median_err, 3.0 / std::sqrt(static_cast<double>(group_size)));
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, AmsAccuracySweep,
+                         ::testing::Values(4, 16, 64, 256));
+
+TEST(AmsTest, TurnstileChurnDoesNotBias) {
+  Rng rng(3);
+  StreamShapeOptions options;
+  options.churn_pairs = 2000;
+  options.churn_magnitude = 50;
+  const Workload w =
+      MakeUniformWorkload(1 << 10, 400, 1, 100, options, rng);
+  const double truth = ExactMoment(w.frequencies, 2.0);
+  AmsSketch ams(AmsOptions{64, 7}, rng);
+  ProcessStream(ams, w.stream);
+  EXPECT_NEAR(ams.EstimateF2() / truth, 1.0, 0.5);
+}
+
+TEST(AmsTest, SpaceBytesAccounted) {
+  Rng rng(4);
+  AmsSketch ams(AmsOptions{16, 5}, rng);
+  // 80 counters + 80 sign hashes (4 words each).
+  EXPECT_EQ(ams.SpaceBytes(),
+            80 * sizeof(int64_t) + 80 * 4 * sizeof(uint64_t));
+}
+
+TEST(AmsTest, DeterministicGivenSeed) {
+  Rng r1(5), r2(5);
+  AmsSketch a(AmsOptions{16, 5}, r1), b(AmsOptions{16, 5}, r2);
+  for (ItemId i = 0; i < 200; ++i) {
+    a.Update(i, static_cast<int64_t>(i % 13));
+    b.Update(i, static_cast<int64_t>(i % 13));
+  }
+  EXPECT_DOUBLE_EQ(a.EstimateF2(), b.EstimateF2());
+}
+
+}  // namespace
+}  // namespace gstream

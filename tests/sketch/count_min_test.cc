@@ -1,0 +1,72 @@
+#include "sketch/count_min.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/exact.h"
+#include "stream/generators.h"
+
+namespace gstream {
+namespace {
+
+TEST(CountMinTest, NeverUnderestimatesInsertionOnly) {
+  Rng rng(1);
+  StreamShapeOptions options;
+  options.unit_updates = true;
+  const Workload w =
+      MakeUniformWorkload(1 << 10, 300, 1, 40, options, rng);
+  ASSERT_TRUE(w.stream.IsInsertionOnly());
+  CountMinSketch cm(CountMinOptions{5, 256}, rng);
+  ProcessStream(cm, w.stream);
+  for (const auto& [item, value] : w.frequencies) {
+    EXPECT_GE(cm.EstimateMin(item), value);
+  }
+}
+
+TEST(CountMinTest, OverestimateBoundedByF1OverB) {
+  Rng rng(2);
+  const Workload w = MakeUniformWorkload(1 << 12, 2000, 1, 50,
+                                         StreamShapeOptions{}, rng);
+  const size_t buckets = 1024;
+  CountMinSketch cm(CountMinOptions{5, buckets}, rng);
+  ProcessStream(cm, w.stream);
+  const double f1 = ExactMoment(w.frequencies, 1.0);
+  const double bound = 4.0 * f1 / static_cast<double>(buckets);
+  size_t violations = 0;
+  for (const auto& [item, value] : w.frequencies) {
+    if (static_cast<double>(cm.EstimateMin(item) - value) > bound) {
+      ++violations;
+    }
+  }
+  EXPECT_LE(violations, w.frequencies.size() / 50);
+}
+
+TEST(CountMinTest, MedianDecodeHandlesDeletions) {
+  Rng rng(3);
+  CountMinSketch cm(CountMinOptions{7, 512}, rng);
+  cm.Update(5, 1000);
+  cm.Update(5, -400);
+  for (ItemId i = 100; i < 150; ++i) cm.Update(i, 2);
+  EXPECT_NEAR(static_cast<double>(cm.EstimateMedian(5)), 600.0, 10.0);
+}
+
+TEST(CountMinTest, SingleItemExact) {
+  Rng rng(4);
+  CountMinSketch cm(CountMinOptions{5, 64}, rng);
+  cm.Update(9, 77);
+  EXPECT_EQ(cm.EstimateMin(9), 77);
+  EXPECT_EQ(cm.EstimateMedian(9), 77);
+}
+
+TEST(CountMinTest, SpaceBytesAccounted) {
+  Rng rng(5);
+  CountMinSketch cm(CountMinOptions{3, 128}, rng);
+  EXPECT_GE(cm.SpaceBytes(), 3 * 128 * sizeof(int64_t));
+}
+
+TEST(CountMinDeathTest, RejectsZeroBuckets) {
+  Rng rng(6);
+  EXPECT_DEATH(CountMinSketch(CountMinOptions{3, 0}, rng), "GSTREAM_CHECK");
+}
+
+}  // namespace
+}  // namespace gstream

@@ -1,0 +1,106 @@
+// Mergeability of the linear sketches: the distributed-aggregation story
+// (map shards independently, merge, decode once).  Linearity means a
+// merged sketch must be *identical* to one that saw the concatenated
+// stream -- these tests check bit-exact agreement.
+
+#include <gtest/gtest.h>
+
+#include "sketch/ams.h"
+#include "sketch/count_sketch.h"
+#include "stream/exact.h"
+#include "stream/generators.h"
+
+namespace gstream {
+namespace {
+
+constexpr uint64_t kSeed = 0x3e46e;
+
+Workload ShardableWorkload() {
+  Rng rng(11);
+  return MakeUniformWorkload(1 << 12, 2000, 1, 500, StreamShapeOptions{},
+                             rng);
+}
+
+TEST(MergeTest, CountSketchShardedEqualsMonolithic) {
+  const Workload w = ShardableWorkload();
+  const CountSketchOptions geometry{5, 512};
+
+  Rng mono_rng(kSeed);
+  CountSketch monolithic(geometry, mono_rng);
+  ProcessStream(monolithic, w.stream);
+
+  // Four shards, same seed (hence same hash functions), disjoint slices.
+  std::vector<CountSketch> shards;
+  for (int s = 0; s < 4; ++s) {
+    Rng rng(kSeed);
+    shards.emplace_back(geometry, rng);
+  }
+  const auto& updates = w.stream.updates();
+  for (size_t i = 0; i < updates.size(); ++i) {
+    shards[i % 4].Update(updates[i].item, updates[i].delta);
+  }
+  for (int s = 1; s < 4; ++s) shards[0].MergeFrom(shards[s]);
+
+  for (const auto& [item, value] : w.frequencies) {
+    EXPECT_EQ(shards[0].Estimate(item), monolithic.Estimate(item));
+  }
+  EXPECT_DOUBLE_EQ(shards[0].EstimateF2(), monolithic.EstimateF2());
+}
+
+TEST(MergeTest, AmsShardedEqualsMonolithic) {
+  const Workload w = ShardableWorkload();
+  const AmsOptions geometry{16, 5};
+
+  Rng mono_rng(kSeed);
+  AmsSketch monolithic(geometry, mono_rng);
+  ProcessStream(monolithic, w.stream);
+
+  Rng r1(kSeed), r2(kSeed);
+  AmsSketch a(geometry, r1), b(geometry, r2);
+  const auto& updates = w.stream.updates();
+  for (size_t i = 0; i < updates.size(); ++i) {
+    (i % 2 == 0 ? a : b).Update(updates[i].item, updates[i].delta);
+  }
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.EstimateF2(), monolithic.EstimateF2());
+}
+
+TEST(MergeTest, MergeIsCommutativeInEffect) {
+  const CountSketchOptions geometry{3, 64};
+  Rng r1(kSeed), r2(kSeed), r3(kSeed), r4(kSeed);
+  CountSketch ab(geometry, r1), ba(geometry, r2);
+  CountSketch a(geometry, r3), b(geometry, r4);
+  a.Update(1, 10);
+  b.Update(2, 20);
+  ab.Update(1, 10);
+  ab.MergeFrom(b);
+  ba.Update(2, 20);
+  ba.MergeFrom(a);
+  for (ItemId i : {1u, 2u, 3u}) {
+    EXPECT_EQ(ab.Estimate(i), ba.Estimate(i));
+  }
+}
+
+TEST(MergeDeathTest, CountSketchRejectsDifferentSeeds) {
+  const CountSketchOptions geometry{3, 64};
+  Rng r1(1), r2(2);
+  CountSketch a(geometry, r1), b(geometry, r2);
+  EXPECT_DEATH(a.MergeFrom(b), "GSTREAM_CHECK");
+}
+
+TEST(MergeDeathTest, CountSketchRejectsDifferentGeometry) {
+  Rng r1(kSeed), r2(kSeed);
+  CountSketch a(CountSketchOptions{3, 64}, r1);
+  CountSketch b(CountSketchOptions{3, 128}, r2);
+  EXPECT_DEATH(a.MergeFrom(b), "GSTREAM_CHECK");
+}
+
+TEST(MergeDeathTest, AmsRejectsDifferentSeeds) {
+  const AmsOptions geometry{8, 3};
+  Rng r1(1), r2(2);
+  AmsSketch a(geometry, r1), b(geometry, r2);
+  EXPECT_DEATH(a.MergeFrom(b), "GSTREAM_CHECK");
+}
+
+}  // namespace
+}  // namespace gstream

@@ -1,0 +1,80 @@
+#include "sketch/subsampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace gstream {
+namespace {
+
+TEST(SubsamplerTest, LevelZeroAlwaysIncludesEverything) {
+  Rng rng(1);
+  NestedSubsampler sampler(10, rng);
+  for (ItemId i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(sampler.InLevel(i, 0));
+    EXPECT_GE(sampler.LevelOf(i), 0);
+    EXPECT_LE(sampler.LevelOf(i), 10);
+  }
+}
+
+TEST(SubsamplerTest, SamplesAreNested) {
+  Rng rng(2);
+  NestedSubsampler sampler(12, rng);
+  for (ItemId i = 0; i < 2000; ++i) {
+    const int level = sampler.LevelOf(i);
+    for (int l = 0; l <= 12; ++l) {
+      EXPECT_EQ(sampler.InLevel(i, l), l <= level);
+    }
+  }
+}
+
+TEST(SubsamplerTest, LevelSizesHalveGeometrically) {
+  Rng rng(3);
+  NestedSubsampler sampler(16, rng);
+  const uint64_t n = 1 << 16;
+  std::vector<size_t> level_counts(17, 0);
+  for (ItemId i = 0; i < n; ++i) {
+    const int level = sampler.LevelOf(i);
+    for (int l = 0; l <= level; ++l) ++level_counts[static_cast<size_t>(l)];
+  }
+  for (int l = 1; l <= 8; ++l) {
+    const double expected = static_cast<double>(n) / std::exp2(l);
+    EXPECT_NEAR(static_cast<double>(level_counts[static_cast<size_t>(l)]),
+                expected, 6.0 * std::sqrt(expected))
+        << "level " << l;
+  }
+}
+
+TEST(SubsamplerTest, ZeroLevelsDegenerate) {
+  Rng rng(4);
+  NestedSubsampler sampler(0, rng);
+  EXPECT_EQ(sampler.LevelOf(123), 0);
+}
+
+TEST(SubsamplerTest, DeterministicGivenSeed) {
+  Rng r1(7), r2(7);
+  NestedSubsampler a(8, r1), b(8, r2);
+  for (ItemId i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.LevelOf(i), b.LevelOf(i));
+  }
+}
+
+TEST(SubsamplerTest, IndependentDrawsDiffer) {
+  Rng rng(9);
+  NestedSubsampler a(8, rng), b(8, rng);
+  int diff = 0;
+  for (ItemId i = 0; i < 500; ++i) {
+    if (a.LevelOf(i) != b.LevelOf(i)) ++diff;
+  }
+  EXPECT_GT(diff, 100);
+}
+
+TEST(SubsamplerTest, SpaceIsPerLevelHashes) {
+  Rng rng(10);
+  NestedSubsampler sampler(5, rng);
+  EXPECT_EQ(sampler.SpaceBytes(), 5 * 2 * sizeof(uint64_t));
+}
+
+}  // namespace
+}  // namespace gstream

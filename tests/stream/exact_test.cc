@@ -1,0 +1,87 @@
+#include "stream/exact.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gstream {
+namespace {
+
+TEST(ExactGSumTest, SumsAbsoluteFrequencies) {
+  const FrequencyMap freq{{0, 3}, {1, -4}, {2, 5}};
+  const double sum = ExactGSum(freq, [](int64_t x) {
+    return static_cast<double>(x) * static_cast<double>(x);
+  });
+  EXPECT_DOUBLE_EQ(sum, 9.0 + 16.0 + 25.0);
+}
+
+TEST(ExactGSumTest, EmptyVectorIsZero) {
+  EXPECT_DOUBLE_EQ(ExactGSum({}, [](int64_t x) {
+                     return static_cast<double>(x);
+                   }),
+                   0.0);
+}
+
+TEST(ExactGSumTest, SkipsZeroEntries) {
+  const FrequencyMap freq{{0, 0}, {1, 2}};
+  const double sum =
+      ExactGSum(freq, [](int64_t) { return 1.0; });  // F0-style count
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(ExactMomentTest, KnownMoments) {
+  const FrequencyMap freq{{0, 1}, {1, -2}, {2, 3}};
+  EXPECT_DOUBLE_EQ(ExactMoment(freq, 0.0), 3.0);        // F0
+  EXPECT_DOUBLE_EQ(ExactMoment(freq, 1.0), 6.0);        // F1 of |v|
+  EXPECT_DOUBLE_EQ(ExactMoment(freq, 2.0), 14.0);       // F2
+  EXPECT_NEAR(ExactMoment(freq, 0.5),
+              1.0 + std::sqrt(2.0) + std::sqrt(3.0), 1e-12);
+}
+
+TEST(ExactGHeavyHittersTest, DefinitionEleven) {
+  // g = x^2: frequencies 10, 3, 1 -> g values 100, 9, 1, total 110.
+  // Item 0: 100 >= lambda * 10 for lambda <= 10 -> heavy at 0.5.
+  // Item 1: 9 >= 0.5 * 101 is false.
+  const FrequencyMap freq{{0, 10}, {1, 3}, {2, 1}};
+  auto g = [](int64_t x) {
+    return static_cast<double>(x) * static_cast<double>(x);
+  };
+  const auto heavy = ExactGHeavyHitters(freq, g, 0.5);
+  ASSERT_EQ(heavy.size(), 1u);
+  EXPECT_EQ(heavy[0].first, 0u);
+  EXPECT_EQ(heavy[0].second, 10);
+}
+
+TEST(ExactGHeavyHittersTest, TinyLambdaReturnsAllSorted) {
+  const FrequencyMap freq{{0, 2}, {1, 9}, {2, 5}};
+  auto g = [](int64_t x) { return static_cast<double>(x); };
+  const auto heavy = ExactGHeavyHitters(freq, g, 1e-9);
+  ASSERT_EQ(heavy.size(), 3u);
+  EXPECT_EQ(heavy[0].first, 1u);  // sorted by decreasing g
+  EXPECT_EQ(heavy[1].first, 2u);
+  EXPECT_EQ(heavy[2].first, 0u);
+}
+
+TEST(ExactGHeavyHittersTest, NegativeFrequencyUsesAbs) {
+  const FrequencyMap freq{{0, -100}, {1, 1}};
+  auto g = [](int64_t x) { return static_cast<double>(x); };
+  const auto heavy = ExactGHeavyHitters(freq, g, 0.5);
+  ASSERT_EQ(heavy.size(), 1u);
+  EXPECT_EQ(heavy[0].first, 0u);
+  EXPECT_EQ(heavy[0].second, -100);  // reports the signed frequency
+}
+
+TEST(ExactGHeavyHittersTest, SingletonIsAlwaysHeavy) {
+  const FrequencyMap freq{{5, 7}};
+  auto g = [](int64_t x) { return static_cast<double>(x); };
+  // Rest-sum is 0, so the single item is heavy for any lambda.
+  EXPECT_EQ(ExactGHeavyHitters(freq, g, 1e9).size(), 1u);
+}
+
+TEST(MaxAbsFrequencyTest, Basic) {
+  EXPECT_EQ(MaxAbsFrequency({}), 0);
+  EXPECT_EQ(MaxAbsFrequency({{0, 3}, {1, -9}, {2, 5}}), 9);
+}
+
+}  // namespace
+}  // namespace gstream

@@ -1,0 +1,86 @@
+#include "stream/stream_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "stream/exact.h"
+#include "stream/generators.h"
+
+namespace gstream {
+namespace {
+
+TEST(StreamIoTest, RoundTripInMemory) {
+  Stream s(100);
+  s.Append(1, 5);
+  s.Append(99, -3);
+  s.Append(1, 2);
+  const auto loaded = StreamFromText(StreamToText(s));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->domain(), 100u);
+  ASSERT_EQ(loaded->length(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(loaded->updates()[i].item, s.updates()[i].item);
+    EXPECT_EQ(loaded->updates()[i].delta, s.updates()[i].delta);
+  }
+}
+
+TEST(StreamIoTest, RoundTripGeneratedWorkload) {
+  Rng rng(1);
+  const Workload w = MakeZipfWorkload(1 << 12, 500, 1.3, 10000,
+                                      StreamShapeOptions{}, rng);
+  const auto loaded = StreamFromText(StreamToText(w.stream));
+  ASSERT_TRUE(loaded.has_value());
+  const FrequencyMap reloaded = ExactFrequencies(*loaded);
+  EXPECT_EQ(reloaded.size(), w.frequencies.size());
+  for (const auto& [item, value] : w.frequencies) {
+    EXPECT_EQ(reloaded.at(item), value);
+  }
+}
+
+TEST(StreamIoTest, CommentsAndBlankLinesIgnored) {
+  const auto loaded = StreamFromText(
+      "# a saved workload\n\ngstream-v1 16  # header\n"
+      "3 7\n\n# trailing comment\n5 -2\n");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->length(), 2u);
+  EXPECT_EQ(loaded->updates()[1].delta, -2);
+}
+
+TEST(StreamIoTest, RejectsBadMagic) {
+  EXPECT_FALSE(StreamFromText("gstream-v2 16\n1 1\n").has_value());
+  EXPECT_FALSE(StreamFromText("1 1\n").has_value());
+  EXPECT_FALSE(StreamFromText("").has_value());
+}
+
+TEST(StreamIoTest, RejectsOutOfDomainItem) {
+  EXPECT_FALSE(StreamFromText("gstream-v1 16\n16 1\n").has_value());
+}
+
+TEST(StreamIoTest, RejectsMalformedLines) {
+  EXPECT_FALSE(StreamFromText("gstream-v1 16\n1\n").has_value());
+  EXPECT_FALSE(StreamFromText("gstream-v1 16\n1 2 3\n").has_value());
+  EXPECT_FALSE(StreamFromText("gstream-v1 16\nfoo bar\n").has_value());
+  EXPECT_FALSE(StreamFromText("gstream-v1 0\n").has_value());
+  EXPECT_FALSE(StreamFromText("gstream-v1 16 junk\n1 1\n").has_value());
+}
+
+TEST(StreamIoTest, FileRoundTrip) {
+  Stream s(32);
+  s.Append(7, 42);
+  s.Append(8, -42);
+  const std::string path = ::testing::TempDir() + "/gstream_io_test.txt";
+  ASSERT_TRUE(SaveStream(s, path));
+  const auto loaded = LoadStream(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->length(), 2u);
+  EXPECT_EQ(loaded->updates()[0].item, 7u);
+  std::remove(path.c_str());
+}
+
+TEST(StreamIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadStream("/nonexistent/path/stream.txt").has_value());
+}
+
+}  // namespace
+}  // namespace gstream

@@ -1,0 +1,98 @@
+#include "stream/stream.h"
+
+#include <gtest/gtest.h>
+
+namespace gstream {
+namespace {
+
+TEST(StreamTest, EmptyStream) {
+  Stream s(10);
+  EXPECT_EQ(s.domain(), 10u);
+  EXPECT_EQ(s.length(), 0u);
+  EXPECT_TRUE(s.IsInsertionOnly());
+  EXPECT_EQ(s.MaxPrefixFrequency(), 0);
+  EXPECT_TRUE(ExactFrequencies(s).empty());
+}
+
+TEST(StreamTest, AppendAccumulatesFrequencies) {
+  Stream s(10);
+  s.Append(3, 5);
+  s.Append(3, -2);
+  s.Append(7, 1);
+  const FrequencyMap freq = ExactFrequencies(s);
+  EXPECT_EQ(freq.size(), 2u);
+  EXPECT_EQ(freq.at(3), 3);
+  EXPECT_EQ(freq.at(7), 1);
+}
+
+TEST(StreamTest, ZeroNetFrequenciesDropped) {
+  Stream s(4);
+  s.Append(1, 4);
+  s.Append(1, -4);
+  s.Append(2, 1);
+  const FrequencyMap freq = ExactFrequencies(s);
+  EXPECT_EQ(freq.size(), 1u);
+  EXPECT_FALSE(freq.contains(1));
+}
+
+TEST(StreamTest, InsertionOnlyDetection) {
+  Stream s(4);
+  s.Append(0, 1);
+  s.Append(1, 1);
+  EXPECT_TRUE(s.IsInsertionOnly());
+  s.Append(2, 2);
+  EXPECT_FALSE(s.IsInsertionOnly());
+}
+
+TEST(StreamTest, NegativeDeltaBreaksInsertionOnly) {
+  Stream s(4);
+  s.Append(0, 1);
+  s.Append(0, -1);
+  EXPECT_FALSE(s.IsInsertionOnly());
+}
+
+TEST(StreamTest, MaxPrefixFrequencySeesTransientPeaks) {
+  Stream s(4);
+  s.Append(0, 10);
+  s.Append(0, -9);
+  // Final frequency is 1 but the prefix reached 10: the turnstile bound M
+  // must account for it.
+  EXPECT_EQ(s.MaxPrefixFrequency(), 10);
+  EXPECT_EQ(ExactFrequencies(s).at(0), 1);
+}
+
+TEST(StreamTest, MaxPrefixFrequencyTracksNegatives) {
+  Stream s(4);
+  s.Append(2, -7);
+  s.Append(2, 3);
+  EXPECT_EQ(s.MaxPrefixFrequency(), 7);
+}
+
+TEST(StreamTest, AppendStreamConcatenates) {
+  Stream alice(8), bob(8);
+  alice.Append(1, 3);
+  bob.Append(1, 2);
+  bob.Append(5, 1);
+  alice.AppendStream(bob);
+  EXPECT_EQ(alice.length(), 3u);
+  const FrequencyMap freq = ExactFrequencies(alice);
+  EXPECT_EQ(freq.at(1), 5);
+  EXPECT_EQ(freq.at(5), 1);
+}
+
+TEST(StreamDeathTest, RejectsOutOfDomainItem) {
+  Stream s(4);
+  EXPECT_DEATH(s.Append(4, 1), "GSTREAM_CHECK");
+}
+
+TEST(StreamDeathTest, RejectsZeroDomain) {
+  EXPECT_DEATH(Stream(0), "GSTREAM_CHECK");
+}
+
+TEST(StreamDeathTest, AppendStreamRequiresSameDomain) {
+  Stream a(4), b(5);
+  EXPECT_DEATH(a.AppendStream(b), "GSTREAM_CHECK");
+}
+
+}  // namespace
+}  // namespace gstream

@@ -1,0 +1,49 @@
+#include "util/bit.h"
+
+#include <gtest/gtest.h>
+
+namespace gstream {
+namespace {
+
+TEST(BitTest, LowestSetBit) {
+  EXPECT_EQ(LowestSetBit(1), 0);
+  EXPECT_EQ(LowestSetBit(2), 1);
+  EXPECT_EQ(LowestSetBit(3), 0);
+  EXPECT_EQ(LowestSetBit(12), 2);
+  EXPECT_EQ(LowestSetBit(uint64_t{1} << 63), 63);
+}
+
+TEST(BitTest, LowestSetBitOfNegativeTwosComplement) {
+  // The g_np sketch relies on ctz of the raw two's complement bits being
+  // the same for m and -m.
+  for (int64_t m : {1, 2, 12, 40, 1024, 999}) {
+    EXPECT_EQ(LowestSetBit(static_cast<uint64_t>(m)),
+              LowestSetBit(static_cast<uint64_t>(-m)));
+  }
+}
+
+TEST(BitTest, Log2Floor) {
+  EXPECT_EQ(Log2Floor(1), 0);
+  EXPECT_EQ(Log2Floor(2), 1);
+  EXPECT_EQ(Log2Floor(3), 1);
+  EXPECT_EQ(Log2Floor(1024), 10);
+  EXPECT_EQ(Log2Floor(1025), 10);
+}
+
+TEST(BitTest, Log2Ceil) {
+  EXPECT_EQ(Log2Ceil(1), 0);
+  EXPECT_EQ(Log2Ceil(2), 1);
+  EXPECT_EQ(Log2Ceil(3), 2);
+  EXPECT_EQ(Log2Ceil(1024), 10);
+  EXPECT_EQ(Log2Ceil(1025), 11);
+}
+
+TEST(BitTest, NextPow2) {
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1000), 1024u);
+}
+
+}  // namespace
+}  // namespace gstream

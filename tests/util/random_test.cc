@@ -1,0 +1,133 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace gstream {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformUint64RespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformUint64BoundOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.UniformUint64(1), 0u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntSingletonRange) {
+  Rng rng(5);
+  EXPECT_EQ(rng.UniformInt(9, 9), 9);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanNearHalf) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliDegenerateProbabilities) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // Child and parent outputs should not track each other.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformityChiSquaredCoarse) {
+  // 16 buckets, 32000 draws: chi^2 with 15 dof has mean 15, stddev ~5.5;
+  // a bound of 50 is ~6 sigma, far from flaky yet catches gross bias.
+  Rng rng(37);
+  const int buckets = 16;
+  const int draws = 32000;
+  std::vector<int> counts(buckets, 0);
+  for (int i = 0; i < draws; ++i) {
+    ++counts[rng.UniformUint64(buckets)];
+  }
+  const double expected = static_cast<double>(draws) / buckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 50.0);
+}
+
+TEST(SplitMix64Test, AdvancesStateAndMixes) {
+  uint64_t s1 = 0;
+  uint64_t s2 = 1;
+  const uint64_t a = SplitMix64(s1);
+  const uint64_t b = SplitMix64(s2);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s1, 0u);  // state advanced
+  // Consecutive outputs differ.
+  EXPECT_NE(SplitMix64(s1), a);
+}
+
+}  // namespace
+}  // namespace gstream

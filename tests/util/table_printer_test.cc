@@ -1,0 +1,41 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace gstream {
+namespace {
+
+TEST(TablePrinterTest, TracksRowCount) {
+  TablePrinter t({"a", "b"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, PrintDoesNotCrashOnLongCells) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a-very-long-cell-content-that-forces-wide-columns", "1"});
+  t.Print("caption");
+}
+
+TEST(TablePrinterTest, FormatDouble) {
+  EXPECT_EQ(TablePrinter::FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(TablePrinter::FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(TablePrinterTest, FormatInt) {
+  EXPECT_EQ(TablePrinter::FormatInt(0), "0");
+  EXPECT_EQ(TablePrinter::FormatInt(-42), "-42");
+  EXPECT_EQ(TablePrinter::FormatInt(1234567), "1234567");
+}
+
+TEST(TablePrinterTest, FormatBytesUnits) {
+  EXPECT_EQ(TablePrinter::FormatBytes(512), "512B");
+  EXPECT_EQ(TablePrinter::FormatBytes(2048), "2.0KiB");
+  EXPECT_EQ(TablePrinter::FormatBytes(3 * 1024 * 1024), "3.00MiB");
+}
+
+}  // namespace
+}  // namespace gstream

@@ -1,0 +1,361 @@
+// The sketch-throughput benchmark behind BENCH_sketch.json.
+//
+// Measures the stream->sketch hot path on a Zipfian turnstile stream for
+// every sketch in the library, in three variants each:
+//   * seed_single -- a frozen replica of the pre-batching per-update loop
+//     (one hash object per row, hardware `%` bucket reduction), kept here
+//     so future PRs always compare against the original baseline;
+//   * single      -- the current Update() path (SoA banks + fastrange);
+//   * batched     -- UpdateBatch() driven by Stream::ForEachBatch.
+// plus the end-to-end one-pass g-sum pipeline (single vs batched).
+//
+// Run via the `bench` CMake target or bench/run_all.sh; flags:
+//   --out PATH     JSON output path (default BENCH_sketch.json)
+//   --updates N    CountSketch/Count-Min stream length (default 10000000)
+//   --quick        divide all workloads by 20 (CI smoke mode)
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/gnp_sketch.h"
+#include "core/gsum.h"
+#include "gfunc/catalog.h"
+#include "sketch/ams.h"
+#include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
+#include "sketch/linear_sketch.h"
+#include "stream/stream.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace gstream {
+namespace {
+
+using bench::BenchReport;
+using bench::BenchResult;
+using bench::Measure;
+
+constexpr uint64_t kDomain = uint64_t{1} << 20;
+constexpr size_t kItems = 100000;
+constexpr double kZipf = 1.1;
+
+// ---------------------------------------------------------------------------
+// Frozen seed baselines: the per-update path exactly as the seed commit had
+// it -- one polynomial-hash object per row, the item reduced mod p on every
+// call, Horner with per-step conditional subtractions, the bucket chosen
+// with the hardware `%` divide, and the hash evaluation out of line (in the
+// seed it lived in hash.cc, a cross-TU call from the sketches).  Do not
+// "optimize" these; they are the yardstick every BENCH_sketch.json speedup
+// is measured against.
+// ---------------------------------------------------------------------------
+
+inline uint64_t SeedModMersenne61(__uint128_t x) {
+  x = (x & kMersenne61) + (x >> 61);
+  x = (x & kMersenne61) + (x >> 61);
+  uint64_t r = static_cast<uint64_t>(x);
+  if (r >= kMersenne61) r -= kMersenne61;
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+class SeedKWiseHash {
+ public:
+  SeedKWiseHash(int k, Rng& rng) {
+    coeffs_.resize(static_cast<size_t>(k));
+    for (uint64_t& c : coeffs_) c = rng.UniformUint64(kMersenne61);
+    if (k > 1 && coeffs_.back() == 0) coeffs_.back() = 1;
+  }
+
+  __attribute__((noinline)) uint64_t operator()(uint64_t x) const {
+    const uint64_t xm = x % kMersenne61;
+    uint64_t acc = coeffs_.back();
+    for (size_t i = coeffs_.size() - 1; i-- > 0;) {
+      acc = SeedModMersenne61(static_cast<__uint128_t>(acc) * xm);
+      acc += coeffs_[i];
+      if (acc >= kMersenne61) acc -= kMersenne61;
+    }
+    return acc;
+  }
+
+ private:
+  std::vector<uint64_t> coeffs_;
+};
+
+class SeedCountSketch {
+ public:
+  SeedCountSketch(size_t rows, size_t buckets, Rng& rng)
+      : rows_(rows), buckets_(buckets) {
+    for (size_t j = 0; j < rows; ++j) {
+      bucket_hashes_.emplace_back(2, rng);
+      sign_hashes_.emplace_back(4, rng);
+    }
+    counters_.assign(rows * buckets, 0);
+  }
+
+  void Update(ItemId item, int64_t delta) {
+    for (size_t j = 0; j < rows_; ++j) {
+      const uint64_t bucket = bucket_hashes_[j](item) % buckets_;
+      const int64_t sd = (sign_hashes_[j](item) & 1) ? delta : -delta;
+      counters_[j * buckets_ + bucket] += sd;
+    }
+  }
+
+  size_t SpaceBytes() const {
+    return counters_.size() * sizeof(int64_t) +
+           (rows_ * 6 + rows_) * sizeof(uint64_t);
+  }
+
+ private:
+  size_t rows_;
+  size_t buckets_;
+  std::vector<SeedKWiseHash> bucket_hashes_;
+  std::vector<SeedKWiseHash> sign_hashes_;
+  std::vector<int64_t> counters_;
+};
+
+class SeedCountMin {
+ public:
+  SeedCountMin(size_t rows, size_t buckets, Rng& rng)
+      : rows_(rows), buckets_(buckets) {
+    for (size_t j = 0; j < rows; ++j) bucket_hashes_.emplace_back(2, rng);
+    counters_.assign(rows * buckets, 0);
+  }
+
+  void Update(ItemId item, int64_t delta) {
+    for (size_t j = 0; j < rows_; ++j) {
+      counters_[j * buckets_ + bucket_hashes_[j](item) % buckets_] += delta;
+    }
+  }
+
+  size_t SpaceBytes() const {
+    return counters_.size() * sizeof(int64_t) + rows_ * 3 * sizeof(uint64_t);
+  }
+
+ private:
+  size_t rows_;
+  size_t buckets_;
+  std::vector<SeedKWiseHash> bucket_hashes_;
+  std::vector<int64_t> counters_;
+};
+
+class SeedAms {
+ public:
+  SeedAms(size_t group_size, size_t groups, Rng& rng) {
+    const size_t total = group_size * groups;
+    for (size_t i = 0; i < total; ++i) sign_hashes_.emplace_back(4, rng);
+    sums_.assign(total, 0);
+  }
+
+  void Update(ItemId item, int64_t delta) {
+    for (size_t i = 0; i < sums_.size(); ++i) {
+      sums_[i] += (sign_hashes_[i](item) & 1) ? delta : -delta;
+    }
+  }
+
+  size_t SpaceBytes() const {
+    return sums_.size() * sizeof(int64_t) +
+           sign_hashes_.size() * 4 * sizeof(uint64_t);
+  }
+
+ private:
+  std::vector<SeedKWiseHash> sign_hashes_;
+  std::vector<int64_t> sums_;
+};
+
+// ---------------------------------------------------------------------------
+// Workload: Zipfian item draws (inverse-CDF over kItems ranks), ~5% of
+// updates carrying turnstile deltas in [-3, 3] instead of +1.
+// ---------------------------------------------------------------------------
+
+Stream MakeZipfStream(size_t updates, Rng& rng) {
+  std::vector<double> cdf(kItems);
+  double total = 0.0;
+  for (size_t r = 0; r < kItems; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), kZipf);
+    cdf[r] = total;
+  }
+  for (double& c : cdf) c /= total;
+  Stream stream(kDomain);
+  for (size_t i = 0; i < updates; ++i) {
+    const double u = rng.UniformDouble();
+    const size_t rank = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    // Spread ranks over the domain so bucket hashing sees realistic ids.
+    const ItemId item = (static_cast<ItemId>(rank) * 0x9e3779b97f4a7c15ULL) %
+                        kDomain;
+    int64_t delta = 1;
+    if (rng.Bernoulli(0.05)) {
+      delta = rng.UniformInt(1, 3) * (rng.Bernoulli(0.5) ? 1 : -1);
+    }
+    stream.Append(item, delta);
+  }
+  return stream;
+}
+
+template <typename SketchT>
+size_t DriveSingle(SketchT& sketch, const Stream& stream) {
+  for (const Update& u : stream.updates()) sketch.Update(u.item, u.delta);
+  return sketch.SpaceBytes();
+}
+
+size_t DriveBatched(LinearSketch& sketch, const Stream& stream) {
+  ProcessStream(sketch, stream);
+  return sketch.SpaceBytes();
+}
+
+int Run(int argc, char** argv) {
+  std::string out_path = "BENCH_sketch.json";
+  size_t cs_updates = 10000000;
+  size_t divisor = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--updates") == 0 && i + 1 < argc) {
+      cs_updates = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      divisor = 20;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+  cs_updates /= divisor;
+  const size_t ams_updates = 2000000 / divisor;
+  const size_t gnp_updates = 1000000 / divisor;
+  const size_t gsum_updates = 200000 / divisor;
+
+  Rng stream_rng(0xbe9c);
+  std::fprintf(stderr, "generating %zu-update Zipfian stream...\n",
+               cs_updates);
+  const Stream stream = MakeZipfStream(cs_updates, stream_rng);
+  // Cost-scaled prefixes for the more expensive sketches.
+  Stream ams_stream(kDomain);
+  Stream gnp_stream(kDomain);
+  Stream gsum_stream(kDomain);
+  for (size_t i = 0; i < std::min(ams_updates, stream.length()); ++i) {
+    ams_stream.Append(stream.updates()[i].item, stream.updates()[i].delta);
+  }
+  for (size_t i = 0; i < std::min(gnp_updates, stream.length()); ++i) {
+    gnp_stream.Append(stream.updates()[i].item, stream.updates()[i].delta);
+  }
+  for (size_t i = 0; i < std::min(gsum_updates, stream.length()); ++i) {
+    gsum_stream.Append(stream.updates()[i].item, stream.updates()[i].delta);
+  }
+
+  BenchReport report;
+  report.SetWorkload(cs_updates, kDomain, kItems, kZipf);
+  const size_t repeats = 5;
+
+  // CountSketch (rows 5, buckets 1024).
+  report.Add(Measure("count_sketch/seed_single", stream.length(), repeats,
+                     [&] {
+                       Rng rng(1);
+                       SeedCountSketch cs(5, 1024, rng);
+                       return DriveSingle(cs, stream);
+                     }));
+  report.Add(Measure("count_sketch/single", stream.length(), repeats, [&] {
+    Rng rng(1);
+    CountSketch cs(CountSketchOptions{5, 1024}, rng);
+    return DriveSingle(cs, stream);
+  }));
+  report.Add(Measure("count_sketch/batched", stream.length(), repeats, [&] {
+    Rng rng(1);
+    CountSketch cs(CountSketchOptions{5, 1024}, rng);
+    return DriveBatched(cs, stream);
+  }));
+
+  // Count-Min (rows 5, buckets 1024).
+  report.Add(Measure("count_min/seed_single", stream.length(), repeats, [&] {
+    Rng rng(2);
+    SeedCountMin cm(5, 1024, rng);
+    return DriveSingle(cm, stream);
+  }));
+  report.Add(Measure("count_min/single", stream.length(), repeats, [&] {
+    Rng rng(2);
+    CountMinSketch cm(CountMinOptions{5, 1024}, rng);
+    return DriveSingle(cm, stream);
+  }));
+  report.Add(Measure("count_min/batched", stream.length(), repeats, [&] {
+    Rng rng(2);
+    CountMinSketch cm(CountMinOptions{5, 1024}, rng);
+    return DriveBatched(cm, stream);
+  }));
+
+  // AMS (16 x 5 estimators).
+  report.Add(Measure("ams/seed_single", ams_stream.length(), repeats, [&] {
+    Rng rng(3);
+    SeedAms ams(16, 5, rng);
+    return DriveSingle(ams, ams_stream);
+  }));
+  report.Add(Measure("ams/single", ams_stream.length(), repeats, [&] {
+    Rng rng(3);
+    AmsSketch ams(AmsOptions{16, 5}, rng);
+    return DriveSingle(ams, ams_stream);
+  }));
+  report.Add(Measure("ams/batched", ams_stream.length(), repeats, [&] {
+    Rng rng(3);
+    AmsSketch ams(AmsOptions{16, 5}, rng);
+    return DriveBatched(ams, ams_stream);
+  }));
+
+  // g_np sketch (64 substreams, 24 trials, 20 id bits).
+  GnpSketchOptions gnp_options;
+  gnp_options.id_bits = 20;
+  report.Add(Measure("gnp/single", gnp_stream.length(), repeats, [&] {
+    Rng rng(4);
+    GnpHeavyHitter gnp(gnp_options, rng);
+    return DriveSingle(gnp, gnp_stream);
+  }));
+  report.Add(Measure("gnp/batched", gnp_stream.length(), repeats, [&] {
+    Rng rng(4);
+    GnpHeavyHitter gnp(gnp_options, rng);
+    return DriveBatched(gnp, gnp_stream);
+  }));
+
+  // End-to-end one-pass g-sum pipeline (3 repetitions of the recursive
+  // sketch over CountSketchTopK + AMS per level).
+  GSumOptions gsum_options;
+  gsum_options.passes = 1;
+  gsum_options.cs_buckets = 1024;
+  gsum_options.candidates = 48;
+  gsum_options.repetitions = 3;
+  gsum_options.ams = AmsOptions{8, 5};
+  report.Add(Measure("gsum/single", gsum_stream.length(), repeats, [&] {
+    GSumEstimator est(MakePower(2.0), kDomain, gsum_options);
+    for (const Update& u : gsum_stream.updates()) est.Update(u.item, u.delta);
+    return est.SpaceBytes();
+  }));
+  report.Add(Measure("gsum/batched", gsum_stream.length(), repeats, [&] {
+    GSumEstimator est(MakePower(2.0), kDomain, gsum_options);
+    gsum_stream.ForEachBatch(kStreamBatchSize,
+                             [&](const Update* ups, size_t n) {
+                               est.UpdateBatch(ups, n);
+                             });
+    return est.SpaceBytes();
+  }));
+
+  report.AddSpeedup("count_sketch_batched_vs_seed", "count_sketch/batched",
+                    "count_sketch/seed_single");
+  report.AddSpeedup("count_sketch_single_vs_seed", "count_sketch/single",
+                    "count_sketch/seed_single");
+  report.AddSpeedup("count_min_batched_vs_seed", "count_min/batched",
+                    "count_min/seed_single");
+  report.AddSpeedup("ams_batched_vs_seed", "ams/batched", "ams/seed_single");
+  report.AddSpeedup("gnp_batched_vs_single", "gnp/batched", "gnp/single");
+  report.AddSpeedup("gsum_batched_vs_single", "gsum/batched", "gsum/single");
+
+  report.PrintTable(stdout);
+  if (!report.WriteJson(out_path)) return 1;
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace gstream
+
+int main(int argc, char** argv) { return gstream::Run(argc, argv); }

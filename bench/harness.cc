@@ -1,0 +1,118 @@
+#include "bench/harness.h"
+
+#include <cinttypes>
+
+namespace gstream {
+namespace bench {
+namespace {
+
+// Minimal JSON string escaping (names are ASCII identifiers, but stay
+// safe for arbitrary input).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void BenchReport::SetWorkload(size_t updates, uint64_t domain, size_t items,
+                              double zipf_exponent) {
+  workload_updates_ = updates;
+  workload_domain_ = domain;
+  workload_items_ = items;
+  workload_zipf_ = zipf_exponent;
+}
+
+void BenchReport::Add(BenchResult result) {
+  results_.push_back(std::move(result));
+}
+
+const BenchResult* BenchReport::Find(const std::string& name) const {
+  for (const BenchResult& r : results_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+void BenchReport::AddSpeedup(const std::string& key,
+                             const std::string& numerator,
+                             const std::string& denominator) {
+  const BenchResult* num = Find(numerator);
+  const BenchResult* den = Find(denominator);
+  if (num == nullptr || den == nullptr || den->updates_per_sec <= 0.0) {
+    std::fprintf(stderr, "BenchReport: cannot compute speedup %s (%s / %s)\n",
+                 key.c_str(), numerator.c_str(), denominator.c_str());
+    return;
+  }
+  speedups_.emplace_back(key, num->updates_per_sec / den->updates_per_sec);
+}
+
+void BenchReport::PrintTable(FILE* out) const {
+  std::fprintf(out, "%-36s %14s %10s %14s %12s\n", "benchmark", "updates",
+               "seconds", "updates/sec", "space");
+  for (const BenchResult& r : results_) {
+    std::fprintf(out, "%-36s %14zu %10.4f %14.0f %12zu\n", r.name.c_str(),
+                 r.updates, r.seconds, r.updates_per_sec, r.space_bytes);
+  }
+  for (const auto& [key, value] : speedups_) {
+    std::fprintf(out, "%-36s %.2fx\n", key.c_str(), value);
+  }
+}
+
+bool BenchReport::WriteJson(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BenchReport: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"gstream-bench-v1\",\n");
+  std::fprintf(f,
+               "  \"workload\": {\"updates\": %zu, \"domain\": %" PRIu64
+               ", \"items\": %zu, \"zipf_exponent\": %.3f},\n",
+               workload_updates_, workload_domain_, workload_items_,
+               workload_zipf_);
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < results_.size(); ++i) {
+    const BenchResult& r = results_[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"updates\": %zu, \"seconds\": "
+                 "%.6f, \"updates_per_sec\": %.1f, \"space_bytes\": %zu}%s\n",
+                 JsonEscape(r.name).c_str(), r.updates, r.seconds,
+                 r.updates_per_sec, r.space_bytes,
+                 i + 1 < results_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"speedups\": {\n");
+  for (size_t i = 0; i < speedups_.size(); ++i) {
+    std::fprintf(f, "    \"%s\": %.3f%s\n",
+                 JsonEscape(speedups_[i].first).c_str(), speedups_[i].second,
+                 i + 1 < speedups_.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  const bool ok = std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "BenchReport: write to %s failed\n",
+                        path.c_str());
+  return ok;
+}
+
+}  // namespace bench
+}  // namespace gstream

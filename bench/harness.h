@@ -1,0 +1,124 @@
+// Benchmark harness for the sketch hot paths: wall-clock timing,
+// updates/sec accounting, and a JSON report (BENCH_sketch.json) so every PR
+// leaves a machine-readable perf trajectory behind.
+//
+// The JSON schema (see bench/README.md):
+//
+//   {
+//     "schema": "gstream-bench-v1",
+//     "workload": {"updates": ..., "domain": ..., "items": ...,
+//                  "zipf_exponent": ...},
+//     "results": [
+//       {"name": "count_sketch/batched", "updates": N, "seconds": s,
+//        "updates_per_sec": N/s, "space_bytes": B}, ...
+//     ],
+//     "speedups": {"count_sketch_batched_vs_seed": r, ...}
+//   }
+//
+// Results are keyed "<sketch>/<variant>"; the canonical variants are
+// `seed_single` (the pre-batching per-update loop, kept as a frozen
+// baseline), `single` (current Update), and `batched` (UpdateBatch via
+// Stream::ForEachBatch).
+
+#ifndef GSTREAM_BENCH_HARNESS_H_
+#define GSTREAM_BENCH_HARNESS_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gstream {
+namespace bench {
+
+// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void Restart() { start_ = Clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// One timed measurement.
+struct BenchResult {
+  std::string name;        // "<sketch>/<variant>"
+  size_t updates = 0;      // stream updates processed
+  double seconds = 0.0;    // wall time of the measured loop (best of N)
+  double updates_per_sec = 0.0;
+  size_t space_bytes = 0;  // sketch state after the run
+};
+
+// Accumulates results and derived speedups, prints a human-readable table,
+// and serializes the report as JSON.
+class BenchReport {
+ public:
+  // Workload description recorded in the JSON header.
+  void SetWorkload(size_t updates, uint64_t domain, size_t items,
+                   double zipf_exponent);
+
+  void Add(BenchResult result);
+
+  // Records speedups[key] = updates_per_sec(numerator) /
+  // updates_per_sec(denominator); both must have been Add()ed.
+  void AddSpeedup(const std::string& key, const std::string& numerator,
+                  const std::string& denominator);
+
+  const std::vector<BenchResult>& results() const { return results_; }
+  const std::vector<std::pair<std::string, double>>& speedups() const {
+    return speedups_;
+  }
+
+  // Aligned throughput table on `out`.
+  void PrintTable(FILE* out) const;
+
+  // Writes the report to `path`; returns false (with a message on stderr)
+  // on I/O failure.
+  bool WriteJson(const std::string& path) const;
+
+ private:
+  const BenchResult* Find(const std::string& name) const;
+
+  size_t workload_updates_ = 0;
+  uint64_t workload_domain_ = 0;
+  size_t workload_items_ = 0;
+  double workload_zipf_ = 0.0;
+  std::vector<BenchResult> results_;
+  std::vector<std::pair<std::string, double>> speedups_;
+};
+
+// Times `fn` `repeats` times and returns the best run as a BenchResult --
+// best-of-N suppresses scheduler noise, which matters on the single-core
+// CI runners.  `fn` must process `updates` stream updates and return the
+// sketch's SpaceBytes().
+template <typename Fn>
+BenchResult Measure(const std::string& name, size_t updates, size_t repeats,
+                    Fn&& fn) {
+  BenchResult result;
+  result.name = name;
+  result.updates = updates;
+  result.seconds = -1.0;
+  for (size_t r = 0; r < repeats; ++r) {
+    WallTimer timer;
+    result.space_bytes = fn();
+    const double s = timer.Seconds();
+    if (result.seconds < 0.0 || s < result.seconds) result.seconds = s;
+  }
+  result.updates_per_sec =
+      result.seconds > 0.0 ? static_cast<double>(updates) / result.seconds
+                           : 0.0;
+  return result;
+}
+
+}  // namespace bench
+}  // namespace gstream
+
+#endif  // GSTREAM_BENCH_HARNESS_H_

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds the benchmark harness in Release mode and writes BENCH_sketch.json
+# at the repo root, so consecutive PRs can diff sketch throughput.
+#
+# Usage:
+#   bench/run_all.sh            # full run (10M-update Zipfian stream)
+#   bench/run_all.sh --quick    # 20x smaller workloads (CI smoke)
+#
+# Extra arguments are forwarded to bench_sketch (see bench/README.md).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" --target bench_sketch -j "$(nproc)"
+
+"${build_dir}/bench_sketch" --out "${repo_root}/BENCH_sketch.json" "$@"
+echo "BENCH_sketch.json written to ${repo_root}"

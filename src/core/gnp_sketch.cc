@@ -19,14 +19,24 @@ int LowBitOrMinus1(int64_t m) {
 }  // namespace
 
 GnpHeavyHitter::GnpHeavyHitter(const GnpSketchOptions& options, Rng& rng)
-    : options_(options),
-      substream_hash_(/*k=*/2, options.substreams, rng) {
+    : options_(options) {
   GSTREAM_CHECK_GE(options.substreams, 1u);
   GSTREAM_CHECK_GE(options.trials, 2u);
   GSTREAM_CHECK_GE(options.id_bits, 1);
   GSTREAM_CHECK_LE(options.id_bits, 62);
-  trial_hashes_.reserve(options.trials);
-  for (size_t t = 0; t < options.trials; ++t) trial_hashes_.emplace_back(rng);
+  // Substream partition: same draw as BucketHash(2, substreams) -- two
+  // uniform coefficients with a nonzero leading one.
+  s0_ = rng.UniformUint64(kMersenne61);
+  s1_ = rng.UniformUint64(kMersenne61);
+  if (s1_ == 0) s1_ = 1;
+  t0_.reserve(options.trials);
+  t1_.reserve(options.trials);
+  // Same draw as BernoulliHash (pairwise, nonzero leading coefficient).
+  for (size_t t = 0; t < options.trials; ++t) {
+    t0_.push_back(rng.UniformUint64(kMersenne61));
+    const uint64_t lead = rng.UniformUint64(kMersenne61);
+    t1_.push_back(lead == 0 ? 1 : lead);
+  }
   counters_.assign(options.substreams * options.trials *
                        (static_cast<size_t>(options.id_bits) + 1),
                    0);
@@ -40,12 +50,50 @@ size_t GnpHeavyHitter::SlotIndex(size_t substream, size_t trial,
 }
 
 void GnpHeavyHitter::Update(ItemId item, int64_t delta) {
-  const size_t s = substream_hash_(item);
+  const uint64_t xm = ReduceToField(item);
+  const size_t s = SubstreamOf(xm);
   for (size_t t = 0; t < options_.trials; ++t) {
-    if (!trial_hashes_[t](item)) continue;
-    counters_[SlotIndex(s, t, 0)] += delta;
-    for (int b = 0; b < options_.id_bits; ++b) {
-      if ((item >> b) & 1u) counters_[SlotIndex(s, t, b + 1)] += delta;
+    if (!TrialSampled(t, xm)) continue;
+    int64_t* base = counters_.data() + SlotIndex(s, t, 0);
+    base[0] += delta;
+    // Walk only the set bits of the id instead of testing all id_bits.
+    uint64_t bits =
+        item & ((options_.id_bits >= 64) ? ~uint64_t{0}
+                                         : ((uint64_t{1} << options_.id_bits) -
+                                            1));
+    while (bits != 0) {
+      base[1 + LowestSetBit(bits)] += delta;
+      bits &= bits - 1;
+    }
+  }
+}
+
+void GnpHeavyHitter::UpdateBatch(const struct Update* updates, size_t n) {
+  const size_t slots = static_cast<size_t>(options_.id_bits) + 1;
+  const uint64_t id_mask = (options_.id_bits >= 64)
+                               ? ~uint64_t{0}
+                               : ((uint64_t{1} << options_.id_bits) - 1);
+  // Item-major: an item's sampled trials all write inside its substream's
+  // contiguous trials*slots region, so the chunk streams through the
+  // counter array once instead of once per trial.  The trial coefficients
+  // (2 * trials words) stay L1-resident across items.
+  const uint64_t* __restrict ta0 = t0_.data();
+  const uint64_t* __restrict ta1 = t1_.data();
+  const size_t trials = options_.trials;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t xm = ReduceToField(updates[i].item);
+    const int64_t delta = updates[i].delta;
+    const uint64_t masked_id = updates[i].item & id_mask;
+    int64_t* sub_base = counters_.data() + SubstreamOf(xm) * trials * slots;
+    for (size_t t = 0; t < trials; ++t) {
+      if ((MulAddMod61(ta1[t], xm, ta0[t]) & 1) == 0) continue;
+      int64_t* base = sub_base + t * slots;
+      base[0] += delta;
+      uint64_t bits = masked_id;
+      while (bits != 0) {
+        base[1 + LowestSetBit(bits)] += delta;
+        bits &= bits - 1;
+      }
     }
   }
 }
@@ -91,10 +139,11 @@ GCover GnpHeavyHitter::Cover(const GFunction& /*g*/) const {
     // and hash to this substream; otherwise the substream held no unique
     // minimal item and we report nothing (a detected failure, not a wrong
     // answer).
-    if (substream_hash_(candidate) != s) continue;
+    const uint64_t cand_xm = ReduceToField(candidate);
+    if (SubstreamOf(cand_xm) != s) continue;
     bool consistent = true;
     for (size_t t = 0; t < options_.trials && consistent; ++t) {
-      const bool sampled = trial_hashes_[t](candidate);
+      const bool sampled = TrialSampled(t, cand_xm);
       const bool in_m_t =
           LowBitOrMinus1(counters_[SlotIndex(s, t, 0)]) == best_i;
       if (sampled != in_m_t) consistent = false;
@@ -110,8 +159,8 @@ GCover GnpHeavyHitter::Cover(const GFunction& /*g*/) const {
 
 size_t GnpHeavyHitter::SpaceBytes() const {
   size_t bytes = counters_.size() * sizeof(int64_t);
-  bytes += substream_hash_.SpaceBytes();
-  for (const BernoulliHash& h : trial_hashes_) bytes += h.SpaceBytes();
+  bytes += 3 * sizeof(uint64_t);  // substream coefficients + range
+  bytes += (t0_.size() + t1_.size()) * sizeof(uint64_t);
   return bytes;
 }
 

@@ -55,6 +55,7 @@ class GnpHeavyHitter : public GHeavyHitterSketch {
 
   int passes() const override { return 1; }
   void Update(ItemId item, int64_t delta) override;
+  void UpdateBatch(const struct Update* updates, size_t n) override;
   void AdvancePass() override;
 
   // Cover entries carry g_np(|v_j|) in g_value (has_frequency = false).
@@ -62,14 +63,33 @@ class GnpHeavyHitter : public GHeavyHitterSketch {
 
   size_t SpaceBytes() const override;
 
+  // Raw counter state; used by the batch/single equivalence tests.
+  const std::vector<int64_t>& counters() const { return counters_; }
+
  private:
   // Counter layout: per substream s, per trial t, slot 0 is m and slots
   // 1..id_bits are the per-bit sums m_b.
   size_t SlotIndex(size_t substream, size_t trial, int slot) const;
 
+  // Pairwise trial-sampling indicator X_t(x), shared across substreams.
+  bool TrialSampled(size_t trial, uint64_t xm) const {
+    return (MulAddMod61(t1_[trial], xm, t0_[trial]) & 1) != 0;
+  }
+
+  // 2-wise substream partition, coefficients held inline so the per-item
+  // substream id costs one fused multiply-add plus a fastrange.
+  size_t SubstreamOf(uint64_t xm) const {
+    return static_cast<size_t>(
+        FastRange61(MulAddMod61(s1_, xm, s0_), options_.substreams));
+  }
+
   GnpSketchOptions options_;
-  BucketHash substream_hash_;            // 2-wise
-  std::vector<BernoulliHash> trial_hashes_;  // pairwise, shared across substreams
+  uint64_t s0_ = 0;  // substream-hash coefficients, pairwise
+  uint64_t s1_ = 1;
+  // Pairwise trial-hash coefficients, structure-of-arrays (one slot per
+  // trial) so the batched kernel keeps a trial's pair in registers.
+  std::vector<uint64_t> t0_;
+  std::vector<uint64_t> t1_;
   std::vector<int64_t> counters_;
 };
 

@@ -65,6 +65,10 @@ void GSumEstimator::Update(ItemId item, int64_t delta) {
   for (RecursiveGSum& rep : reps_) rep.Update(item, delta);
 }
 
+void GSumEstimator::UpdateBatch(const struct Update* updates, size_t n) {
+  for (RecursiveGSum& rep : reps_) rep.UpdateBatch(updates, n);
+}
+
 void GSumEstimator::AdvancePass() {
   for (RecursiveGSum& rep : reps_) rep.AdvancePass();
 }
@@ -81,10 +85,16 @@ double GSumEstimator::EstimateForG(const GFunction& other) const {
 
 double GSumEstimator::Process(const Stream& stream) {
   // `struct Update` disambiguates the update type from the member function.
-  for (const struct Update& u : stream.updates()) Update(u.item, u.delta);
+  auto one_pass = [&] {
+    stream.ForEachBatch(kStreamBatchSize,
+                        [&](const struct Update* ups, size_t n) {
+                          UpdateBatch(ups, n);
+                        });
+  };
+  one_pass();
   for (int p = 1; p < options_.passes; ++p) {
     AdvancePass();
-    for (const struct Update& u : stream.updates()) Update(u.item, u.delta);
+    one_pass();
   }
   return Estimate();
 }

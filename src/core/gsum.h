@@ -68,7 +68,11 @@ class GSumEstimator {
 
   // Incremental interface: feed every update once per pass, calling
   // AdvancePass() between the passes of a two-pass configuration.
+  // UpdateBatch is the hot path (Process drives it in
+  // kStreamBatchSize chunks); it fans the chunk out to every repetition's
+  // batched recursive sketch.
   void Update(ItemId item, int64_t delta);
+  void UpdateBatch(const struct Update* updates, size_t n);
   void AdvancePass();
 
   // Median-of-repetitions estimate under the bound function.

@@ -22,6 +22,11 @@ void OnePassHeavyHitter::Update(ItemId item, int64_t delta) {
   ams_.Update(item, delta);
 }
 
+void OnePassHeavyHitter::UpdateBatch(const struct Update* updates, size_t n) {
+  tracker_.UpdateBatch(updates, n);
+  ams_.UpdateBatch(updates, n);
+}
+
 void OnePassHeavyHitter::AdvancePass() {
   GSTREAM_CHECK(false);  // single-pass algorithm
 }

@@ -47,6 +47,7 @@ class OnePassHeavyHitter : public GHeavyHitterSketch {
 
   int passes() const override { return 1; }
   void Update(ItemId item, int64_t delta) override;
+  void UpdateBatch(const struct Update* updates, size_t n) override;
   void AdvancePass() override;
   GCover Cover(const GFunction& g) const override;
   size_t SpaceBytes() const override;

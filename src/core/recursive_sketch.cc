@@ -17,12 +17,32 @@ RecursiveGSum::RecursiveGSum(int levels, const GHeavyHitterFactory& factory,
     GSTREAM_CHECK(sketches_.back() != nullptr);
     GSTREAM_CHECK_EQ(sketches_.back()->passes(), sketches_.front()->passes());
   }
+  level_batches_.resize(static_cast<size_t>(levels) + 1);
 }
 
 void RecursiveGSum::Update(ItemId item, int64_t delta) {
   const int deepest = subsampler_.LevelOf(item);
   for (int l = 0; l <= std::min(deepest, levels()); ++l) {
     sketches_[static_cast<size_t>(l)]->Update(item, delta);
+  }
+}
+
+void RecursiveGSum::UpdateBatch(const struct Update* updates, size_t n) {
+  if (n == 0) return;
+  const int max_level = levels();
+  for (auto& batch : level_batches_) batch.clear();  // capacity retained
+  for (size_t i = 0; i < n; ++i) {
+    const int deepest =
+        std::min(subsampler_.LevelOf(updates[i].item), max_level);
+    for (int l = 0; l <= deepest; ++l) {
+      level_batches_[static_cast<size_t>(l)].push_back(updates[i]);
+    }
+  }
+  for (int l = 0; l <= max_level; ++l) {
+    const auto& batch = level_batches_[static_cast<size_t>(l)];
+    if (batch.empty()) continue;
+    sketches_[static_cast<size_t>(l)]->UpdateBatch(batch.data(),
+                                                   batch.size());
   }
 }
 

@@ -40,6 +40,12 @@ class RecursiveGSum {
   // Routes the update to every level whose sample contains the item.
   void Update(ItemId item, int64_t delta);
 
+  // Batched routing: classifies the chunk once, partitions it into reusable
+  // per-level buffers, and forwards each level's sub-batch through the
+  // level sketch's UpdateBatch.  Counter state matches the sequential loop
+  // exactly (linearity).
+  void UpdateBatch(const struct Update* updates, size_t n);
+
   // Transitions every level sketch to its next pass.
   void AdvancePass();
 
@@ -53,6 +59,9 @@ class RecursiveGSum {
  private:
   NestedSubsampler subsampler_;
   std::vector<std::unique_ptr<GHeavyHitterSketch>> sketches_;  // per level
+  // Reusable per-level partition buffers for UpdateBatch (level l holds the
+  // chunk's updates whose item survives to level l).
+  std::vector<std::vector<struct Update>> level_batches_;
 };
 
 }  // namespace gstream

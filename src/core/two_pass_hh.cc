@@ -20,6 +20,17 @@ void TwoPassHeavyHitter::Update(ItemId item, int64_t delta) {
   }
 }
 
+void TwoPassHeavyHitter::UpdateBatch(const struct Update* updates, size_t n) {
+  if (current_pass_ == 1) {
+    tracker_.UpdateBatch(updates, n);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const auto it = exact_counts_.find(updates[i].item);
+    if (it != exact_counts_.end()) it->second += updates[i].delta;
+  }
+}
+
 void TwoPassHeavyHitter::AdvancePass() {
   GSTREAM_CHECK_EQ(current_pass_, 1);
   current_pass_ = 2;

@@ -36,6 +36,7 @@ class TwoPassHeavyHitter : public GHeavyHitterSketch {
 
   int passes() const override { return 2; }
   void Update(ItemId item, int64_t delta) override;
+  void UpdateBatch(const struct Update* updates, size_t n) override;
   void AdvancePass() override;
   GCover Cover(const GFunction& g) const override;
   size_t SpaceBytes() const override;

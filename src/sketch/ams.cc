@@ -7,18 +7,19 @@
 namespace gstream {
 
 AmsSketch::AmsSketch(const AmsOptions& options, Rng& rng)
-    : options_(options) {
+    : options_(options),
+      sign_bank_(/*k=*/4, std::max<size_t>(options.group_size * options.groups, 1),
+                 rng) {
   GSTREAM_CHECK_GE(options.group_size, 1u);
   GSTREAM_CHECK_GE(options.groups, 1u);
   const size_t total = options.group_size * options.groups;
-  sign_hashes_.reserve(total);
-  for (size_t i = 0; i < total; ++i) sign_hashes_.emplace_back(rng);
   sums_.assign(total, 0);
+  mean_scratch_.resize(options.groups);
   uint64_t fp = 0xcbf29ce484222325ULL;
   for (size_t i = 0; i < total; ++i) {
-    fp = (fp ^ static_cast<uint64_t>(sign_hashes_[i](1) + 2)) *
+    fp = (fp ^ (sign_bank_.EvalRow(i, ReduceToField(1)) & 1)) *
          0x100000001b3ULL;
-    fp = (fp ^ static_cast<uint64_t>(sign_hashes_[i](0x9e3779b9) + 2)) *
+    fp = (fp ^ (sign_bank_.EvalRow(i, ReduceToField(0x9e3779b9)) & 1)) *
          0x100000001b3ULL;
   }
   hash_fingerprint_ = fp;
@@ -32,13 +33,59 @@ void AmsSketch::MergeFrom(const AmsSketch& other) {
 }
 
 void AmsSketch::Update(ItemId item, int64_t delta) {
+  uint64_t xm, x2, x3;
+  FieldPowers3Lazy(item, &xm, &x2, &x3);
+  const uint64_t* c0 = sign_bank_.DegreeCoeffs(0);
+  const uint64_t* c1 = sign_bank_.DegreeCoeffs(1);
+  const uint64_t* c2 = sign_bank_.DegreeCoeffs(2);
+  const uint64_t* c3 = sign_bank_.DegreeCoeffs(3);
   for (size_t i = 0; i < sums_.size(); ++i) {
-    sums_[i] += static_cast<int64_t>(sign_hashes_[i](item)) * delta;
+    const uint64_t s = Eval4Wise(c0[i], c1[i], c2[i], c3[i], xm, x2, x3);
+    sums_[i] += (s & 1) ? delta : -delta;
+  }
+}
+
+void AmsSketch::UpdateBatch(const struct Update* updates, size_t n) {
+  if (n == 0) return;
+  if (xm_scratch_.size() < n) {
+    xm_scratch_.resize(n);
+    x2_scratch_.resize(n);
+    x3_scratch_.resize(n);
+    delta_scratch_.resize(n);
+  }
+  // One restrict pointer per scratch array, shared by the precompute and
+  // estimator loops (mixing two restrict pointers to one array is UB).
+  uint64_t* __restrict xm_s = xm_scratch_.data();
+  uint64_t* __restrict x2_s = x2_scratch_.data();
+  uint64_t* __restrict x3_s = x3_scratch_.data();
+  int64_t* __restrict delta_s = delta_scratch_.data();
+  // Per-item field powers, computed once and shared by every estimator.
+  for (size_t i = 0; i < n; ++i) {
+    FieldPowers3Lazy(updates[i].item, &xm_s[i], &x2_s[i], &x3_s[i]);
+    delta_s[i] = updates[i].delta;
+  }
+  const uint64_t* c0 = sign_bank_.DegreeCoeffs(0);
+  const uint64_t* c1 = sign_bank_.DegreeCoeffs(1);
+  const uint64_t* c2 = sign_bank_.DegreeCoeffs(2);
+  const uint64_t* c3 = sign_bank_.DegreeCoeffs(3);
+  // Estimator-major: one estimator's four coefficients stay in registers
+  // while its running sum accumulates over the whole chunk.
+  for (size_t e = 0; e < sums_.size(); ++e) {
+    const uint64_t b0 = c0[e];
+    const uint64_t b1 = c1[e];
+    const uint64_t b2 = c2[e];
+    const uint64_t b3 = c3[e];
+    int64_t z = sums_[e];
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t s =
+          Eval4Wise(b0, b1, b2, b3, xm_s[i], x2_s[i], x3_s[i]);
+      z += (s & 1) ? delta_s[i] : -delta_s[i];
+    }
+    sums_[e] = z;
   }
 }
 
 double AmsSketch::EstimateF2() const {
-  std::vector<double> group_means(options_.groups);
   for (size_t grp = 0; grp < options_.groups; ++grp) {
     double mean = 0.0;
     for (size_t e = 0; e < options_.group_size; ++e) {
@@ -46,16 +93,14 @@ double AmsSketch::EstimateF2() const {
           static_cast<double>(sums_[grp * options_.group_size + e]);
       mean += z * z;
     }
-    group_means[grp] = mean / static_cast<double>(options_.group_size);
+    mean_scratch_[grp] = mean / static_cast<double>(options_.group_size);
   }
-  std::sort(group_means.begin(), group_means.end());
-  return group_means[group_means.size() / 2];
+  std::sort(mean_scratch_.begin(), mean_scratch_.end());
+  return mean_scratch_[mean_scratch_.size() / 2];
 }
 
 size_t AmsSketch::SpaceBytes() const {
-  size_t bytes = sums_.size() * sizeof(int64_t);
-  for (const SignHash& h : sign_hashes_) bytes += h.SpaceBytes();
-  return bytes;
+  return sums_.size() * sizeof(int64_t) + sign_bank_.SpaceBytes();
 }
 
 }  // namespace gstream

@@ -6,6 +6,13 @@
 // estimator is Z = sum_i s(i) v_i with a 4-wise sign hash, and E[Z^2] = F2,
 // Var[Z^2] <= 2 F2^2.  With group_size = O(1/eps^2) and groups = O(log
 // 1/delta) the estimate is within (1 +- eps) F2 with probability 1 - delta.
+//
+// The sign hashes live in one structure-of-arrays KWiseHashBank so the
+// batched update kernel walks (estimator x chunk) with each estimator's
+// four coefficients in registers; update and query paths are
+// allocation-free in steady state because the scratch buffers are members,
+// which also means queries are not thread-safe (EstimateF2 mutates its
+// median scratch).
 
 #ifndef GSTREAM_SKETCH_AMS_H_
 #define GSTREAM_SKETCH_AMS_H_
@@ -29,6 +36,7 @@ class AmsSketch : public LinearSketch {
   AmsSketch(const AmsOptions& options, Rng& rng);
 
   void Update(ItemId item, int64_t delta) override;
+  void UpdateBatch(const struct Update* updates, size_t n) override;
 
   // Median-of-means F2 estimate.
   double EstimateF2() const;
@@ -40,11 +48,20 @@ class AmsSketch : public LinearSketch {
 
   size_t SpaceBytes() const override;
 
+  // Raw estimator sums (group_size * groups); used by the batch/single
+  // equivalence tests.
+  const std::vector<int64_t>& sums() const { return sums_; }
+
  private:
   AmsOptions options_;
-  std::vector<SignHash> sign_hashes_;  // group_size * groups
-  std::vector<int64_t> sums_;          // Z per estimator
+  KWiseHashBank sign_bank_;    // group_size * groups rows, 4-wise
+  std::vector<int64_t> sums_;  // Z per estimator
   uint64_t hash_fingerprint_ = 0;
+  std::vector<uint64_t> xm_scratch_;   // batch item powers mod p
+  std::vector<uint64_t> x2_scratch_;
+  std::vector<uint64_t> x3_scratch_;
+  std::vector<int64_t> delta_scratch_;  // batch deltas, densely packed
+  mutable std::vector<double> mean_scratch_;  // median-of-means decode
 };
 
 }  // namespace gstream

@@ -8,18 +8,18 @@
 namespace gstream {
 
 CountMinSketch::CountMinSketch(const CountMinOptions& options, Rng& rng)
-    : options_(options) {
+    : options_(options),
+      bucket_bank_(/*k=*/2, std::max<size_t>(options.rows, 1), rng) {
   GSTREAM_CHECK_GE(options.rows, 1u);
   GSTREAM_CHECK_GE(options.buckets, 1u);
-  bucket_hashes_.reserve(options.rows);
-  for (size_t j = 0; j < options.rows; ++j) {
-    bucket_hashes_.emplace_back(/*k=*/2, options.buckets, rng);
-  }
   counters_.assign(options.rows * options.buckets, 0);
+  row_scratch_.resize(options.rows);
   uint64_t fp = 0xcbf29ce484222325ULL;
   for (size_t j = 0; j < options.rows; ++j) {
     for (uint64_t probe : {uint64_t{1}, uint64_t{0x9e3779b9}}) {
-      fp = (fp ^ bucket_hashes_[j](probe)) * 0x100000001b3ULL;
+      fp = (fp ^ FastRange61(bucket_bank_.EvalRow(j, ReduceToField(probe)),
+                             options.buckets)) *
+           0x100000001b3ULL;
     }
   }
   hash_fingerprint_ = fp;
@@ -35,35 +35,79 @@ void CountMinSketch::MergeFrom(const CountMinSketch& other) {
 }
 
 void CountMinSketch::Update(ItemId item, int64_t delta) {
+  const uint64_t xm = ReduceToFieldLazy(item);
+  const size_t b = options_.buckets;
   for (size_t j = 0; j < options_.rows; ++j) {
-    counters_[j * options_.buckets + bucket_hashes_[j](item)] += delta;
+    counters_[j * b + FastRange61(bucket_bank_.EvalRow(j, xm), b)] += delta;
+  }
+}
+
+void CountMinSketch::UpdateBatch(const struct Update* updates, size_t n) {
+  if (n == 0) return;
+  if (xm_scratch_.size() < n) {
+    xm_scratch_.resize(n);
+    delta_scratch_.resize(n);
+    idx_scratch_.resize(n);
+  }
+  // One restrict pointer per scratch array, shared by the writing and
+  // reading loops so every access to a scratch object is based on the same
+  // restrict pointer (mixing two restrict pointers to one array is UB).
+  uint64_t* __restrict xm_s = xm_scratch_.data();
+  int64_t* __restrict delta_s = delta_scratch_.data();
+  uint32_t* __restrict idx_s = idx_scratch_.data();
+  for (size_t i = 0; i < n; ++i) {
+    xm_s[i] = ReduceToFieldLazy(updates[i].item);
+    delta_s[i] = updates[i].delta;
+  }
+  const size_t b = options_.buckets;
+  const int brs = FastRange61Shift(b);  // exact shift form for pow-2 b
+  const uint64_t* h0 = bucket_bank_.DegreeCoeffs(0);
+  const uint64_t* h1 = bucket_bank_.DegreeCoeffs(1);
+  // Hash phase then scatter phase per row; see CountSketch::UpdateBatch for
+  // why the phases are split and __restrict-qualified.
+  for (size_t j = 0; j < options_.rows; ++j) {
+    const uint64_t a0 = h0[j];
+    const uint64_t a1 = h1[j];
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t h = MulAddMod61(a1, xm_s[i], a0);
+      idx_s[i] = static_cast<uint32_t>(brs >= 0 ? (h >> brs)
+                                                : FastRange61(h, b));
+    }
+    int64_t* __restrict row = counters_.data() + j * b;
+    for (size_t i = 0; i < n; ++i) {
+      row[idx_s[i]] += delta_s[i];
+    }
   }
 }
 
 int64_t CountMinSketch::EstimateMin(ItemId item) const {
+  const uint64_t xm = ReduceToFieldLazy(item);
+  const size_t b = options_.buckets;
   int64_t best = std::numeric_limits<int64_t>::max();
   for (size_t j = 0; j < options_.rows; ++j) {
-    best = std::min(best,
-                    counters_[j * options_.buckets + bucket_hashes_[j](item)]);
+    best = std::min(
+        best, counters_[j * b + FastRange61(bucket_bank_.EvalRow(j, xm), b)]);
   }
   return best;
 }
 
 int64_t CountMinSketch::EstimateMedian(ItemId item) const {
-  std::vector<int64_t> row(options_.rows);
+  const uint64_t xm = ReduceToFieldLazy(item);
+  const size_t b = options_.buckets;
   for (size_t j = 0; j < options_.rows; ++j) {
-    row[j] = counters_[j * options_.buckets + bucket_hashes_[j](item)];
+    row_scratch_[j] =
+        counters_[j * b + FastRange61(bucket_bank_.EvalRow(j, xm), b)];
   }
-  std::nth_element(row.begin(),
-                   row.begin() + static_cast<ptrdiff_t>(row.size() / 2),
-                   row.end());
-  return row[row.size() / 2];
+  std::nth_element(
+      row_scratch_.begin(),
+      row_scratch_.begin() + static_cast<ptrdiff_t>(row_scratch_.size() / 2),
+      row_scratch_.end());
+  return row_scratch_[row_scratch_.size() / 2];
 }
 
 size_t CountMinSketch::SpaceBytes() const {
-  size_t bytes = counters_.size() * sizeof(int64_t);
-  for (const BucketHash& h : bucket_hashes_) bytes += h.SpaceBytes();
-  return bytes;
+  return counters_.size() * sizeof(int64_t) + bucket_bank_.SpaceBytes() +
+         sizeof(uint64_t) /* bucket range */;
 }
 
 }  // namespace gstream

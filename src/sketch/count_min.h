@@ -2,7 +2,10 @@
 // frequency estimator we compare CountSketch against in the sketch
 // micro-benchmarks (experiment E9).
 //
-// r x b counters with pairwise bucket hashes.  In the insertion-only model
+// r x b counters with pairwise bucket hashes held in a structure-of-arrays
+// KWiseHashBank, giving the same allocation-free batched update kernel as
+// CountSketch (and the same caveat: query scratch lives in mutable
+// members, so queries are not thread-safe).  In the insertion-only model
 // EstimateMin overestimates by at most F1/b with probability 1-2^{-r}; in
 // the general turnstile model EstimateMedian is the appropriate decode.
 
@@ -28,6 +31,7 @@ class CountMinSketch : public LinearSketch {
   CountMinSketch(const CountMinOptions& options, Rng& rng);
 
   void Update(ItemId item, int64_t delta) override;
+  void UpdateBatch(const struct Update* updates, size_t n) override;
 
   // Min-of-rows decode (valid upper bound in the insertion-only model).
   int64_t EstimateMin(ItemId item) const;
@@ -41,11 +45,19 @@ class CountMinSketch : public LinearSketch {
 
   size_t SpaceBytes() const override;
 
+  // Raw counter state (rows * buckets, row-major); used by the
+  // batch/single equivalence tests.
+  const std::vector<int64_t>& counters() const { return counters_; }
+
  private:
   CountMinOptions options_;
-  std::vector<BucketHash> bucket_hashes_;
+  KWiseHashBank bucket_bank_;  // one row each, 2-wise
   std::vector<int64_t> counters_;
   uint64_t hash_fingerprint_ = 0;
+  std::vector<uint64_t> xm_scratch_;   // batch item reductions
+  std::vector<int64_t> delta_scratch_;  // batch deltas, densely packed
+  std::vector<uint32_t> idx_scratch_;  // per-row bucket indices
+  mutable std::vector<int64_t> row_scratch_;  // median decode
 };
 
 }  // namespace gstream

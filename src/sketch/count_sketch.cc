@@ -18,27 +18,33 @@ T MedianInPlace(std::vector<T>& v) {
   return v[mid];
 }
 
+// Strength order for candidate maintenance: larger |estimate| first, item
+// id as the total-order tiebreak so pruning is deterministic regardless of
+// hash-map iteration order.
+inline bool Stronger(const std::pair<int64_t, ItemId>& a,
+                     const std::pair<int64_t, ItemId>& b) {
+  if (a.first != b.first) return a.first > b.first;
+  return a.second < b.second;
+}
+
 }  // namespace
 
 CountSketch::CountSketch(const CountSketchOptions& options, Rng& rng)
-    : options_(options) {
+    : options_(options),
+      hash_bank_(/*k=*/4, std::max<size_t>(options.rows, 1), rng) {
   GSTREAM_CHECK_GE(options.rows, 1u);
   GSTREAM_CHECK_GE(options.buckets, 1u);
-  bucket_hashes_.reserve(options.rows);
-  sign_hashes_.reserve(options.rows);
-  for (size_t j = 0; j < options.rows; ++j) {
-    bucket_hashes_.emplace_back(/*k=*/2, options.buckets, rng);
-    sign_hashes_.emplace_back(rng);
-  }
   counters_.assign(options.rows * options.buckets, 0);
+  row_scratch_.resize(options.rows);
+  f2_scratch_.resize(options.rows);
   // Fingerprint the drawn hash functions by probing them; two sketches
   // share hashes iff they were constructed from equal-state Rngs.
   uint64_t fp = 0xcbf29ce484222325ULL;
   for (size_t j = 0; j < options.rows; ++j) {
     for (uint64_t probe : {uint64_t{1}, uint64_t{0x9e3779b9}}) {
-      fp = (fp ^ bucket_hashes_[j](probe)) * 0x100000001b3ULL;
-      fp = (fp ^ static_cast<uint64_t>(sign_hashes_[j](probe) + 2)) *
-           0x100000001b3ULL;
+      const uint64_t h = hash_bank_.EvalRow(j, ReduceToField(probe));
+      fp = (fp ^ FastRange61(h, options.buckets)) * 0x100000001b3ULL;
+      fp = (fp ^ (h & 1)) * 0x100000001b3ULL;
     }
   }
   hash_fingerprint_ = fp;
@@ -54,25 +60,119 @@ void CountSketch::MergeFrom(const CountSketch& other) {
 }
 
 void CountSketch::Update(ItemId item, int64_t delta) {
+  uint64_t xm, x2, x3;
+  FieldPowers3Lazy(item, &xm, &x2, &x3);
+  const size_t b = options_.buckets;
   for (size_t j = 0; j < options_.rows; ++j) {
-    const uint64_t bucket = bucket_hashes_[j](item);
-    counters_[j * options_.buckets + bucket] +=
-        static_cast<int64_t>(sign_hashes_[j](item)) * delta;
+    const uint64_t h = RowHash(j, xm, x2, x3);
+    const int64_t signed_delta = (h & 1) ? delta : -delta;
+    counters_[j * b + FastRange61(h, b)] += signed_delta;
+  }
+}
+
+void CountSketch::UpdateBatch(const struct Update* updates, size_t n) {
+  if (n == 0) return;
+  if (xm_scratch_.size() < n) {
+    xm_scratch_.resize(n);
+    x2_scratch_.resize(n);
+    x3_scratch_.resize(n);
+    delta_scratch_.resize(n);
+  }
+  const size_t b = options_.buckets;
+  const size_t rows = options_.rows;
+  // Power-of-two bucket counts admit an exact shift form of FastRange61;
+  // the ternary below is loop-invariant, so -O3 unswitches each hot loop
+  // into a shift version and a multiply version.
+  const int brs = FastRange61Shift(b);
+  const auto bucket_of = [brs, b](uint64_t h) {
+    return brs >= 0 ? (h >> brs) : FastRange61(h, b);
+  };
+  const uint64_t* d0 = hash_bank_.DegreeCoeffs(0);
+  const uint64_t* d1 = hash_bank_.DegreeCoeffs(1);
+  const uint64_t* d2 = hash_bank_.DegreeCoeffs(2);
+  const uint64_t* d3 = hash_bank_.DegreeCoeffs(3);
+  // Row-major over the chunk, two rows per pass: both rows' coefficients
+  // stay in registers, each item's powers are loaded once per pass instead
+  // of once per row, and the two independent Eval4Wise chains interleave
+  // in the pipeline.  The first pass computes the per-item field powers in
+  // registers (storing them for the later passes), so the chunk needs no
+  // separate precompute sweep.  The __restrict qualifiers tell the
+  // compiler the scratch streams don't alias the counters (same-width
+  // signed/unsigned pointers otherwise would), so the counter stores never
+  // serialize the hash math.
+  // One restrict pointer per scratch array, used for both the pass-1
+  // stores and the later passes' loads: every access to a scratch object
+  // is based on the same restrict pointer, which is what keeps the
+  // no-alias assertion well-defined.
+  uint64_t* __restrict xm_s = xm_scratch_.data();
+  uint64_t* __restrict x2_s = x2_scratch_.data();
+  uint64_t* __restrict x3_s = x3_scratch_.data();
+  int64_t* __restrict delta_s = delta_scratch_.data();
+  {
+    const uint64_t a0 = d0[0], a1 = d1[0], a2 = d2[0], a3 = d3[0];
+    const size_t jb = rows >= 2 ? 1 : 0;  // second row of the first pass
+    const uint64_t e0 = d0[jb], e1 = d1[jb], e2 = d2[jb], e3 = d3[jb];
+    int64_t* __restrict row_a = counters_.data();
+    int64_t* __restrict row_b = counters_.data() + jb * b;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t xm, x2, x3;
+      FieldPowers3Lazy(updates[i].item, &xm, &x2, &x3);
+      const int64_t delta = updates[i].delta;
+      xm_s[i] = xm;
+      x2_s[i] = x2;
+      x3_s[i] = x3;
+      delta_s[i] = delta;
+      const uint64_t ha = Eval4Wise(a0, a1, a2, a3, xm, x2, x3);
+      row_a[bucket_of(ha)] += (ha & 1) ? delta : -delta;
+      if (rows >= 2) {
+        const uint64_t hb = Eval4Wise(e0, e1, e2, e3, xm, x2, x3);
+        row_b[bucket_of(hb)] += (hb & 1) ? delta : -delta;
+      }
+    }
+  }
+  size_t j = rows >= 2 ? 2 : 1;
+  for (; j + 1 < rows; j += 2) {
+    const uint64_t a0 = d0[j], a1 = d1[j], a2 = d2[j], a3 = d3[j];
+    const uint64_t e0 = d0[j + 1], e1 = d1[j + 1], e2 = d2[j + 1],
+                   e3 = d3[j + 1];
+    int64_t* __restrict row_a = counters_.data() + j * b;
+    int64_t* __restrict row_b = counters_.data() + (j + 1) * b;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t xm = xm_s[i];
+      const uint64_t x2 = x2_s[i];
+      const uint64_t x3 = x3_s[i];
+      const int64_t delta = delta_s[i];
+      const uint64_t ha = Eval4Wise(a0, a1, a2, a3, xm, x2, x3);
+      const uint64_t hb = Eval4Wise(e0, e1, e2, e3, xm, x2, x3);
+      row_a[bucket_of(ha)] += (ha & 1) ? delta : -delta;
+      row_b[bucket_of(hb)] += (hb & 1) ? delta : -delta;
+    }
+  }
+  if (j < rows) {
+    const uint64_t a0 = d0[j], a1 = d1[j], a2 = d2[j], a3 = d3[j];
+    int64_t* __restrict row = counters_.data() + j * b;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t h = Eval4Wise(a0, a1, a2, a3, xm_s[i], x2_s[i],
+                                   x3_s[i]);
+      const int64_t delta = delta_s[i];
+      row[bucket_of(h)] += (h & 1) ? delta : -delta;
+    }
   }
 }
 
 int64_t CountSketch::Estimate(ItemId item) const {
-  std::vector<int64_t> row_estimates(options_.rows);
+  uint64_t xm, x2, x3;
+  FieldPowers3Lazy(item, &xm, &x2, &x3);
+  const size_t b = options_.buckets;
   for (size_t j = 0; j < options_.rows; ++j) {
-    const uint64_t bucket = bucket_hashes_[j](item);
-    row_estimates[j] = static_cast<int64_t>(sign_hashes_[j](item)) *
-                       counters_[j * options_.buckets + bucket];
+    const uint64_t h = RowHash(j, xm, x2, x3);
+    const int64_t c = counters_[j * b + FastRange61(h, b)];
+    row_scratch_[j] = (h & 1) ? c : -c;
   }
-  return MedianInPlace(row_estimates);
+  return MedianInPlace(row_scratch_);
 }
 
 double CountSketch::EstimateF2() const {
-  std::vector<double> row_estimates(options_.rows);
   for (size_t j = 0; j < options_.rows; ++j) {
     double sum = 0.0;
     for (size_t b = 0; b < options_.buckets; ++b) {
@@ -80,22 +180,22 @@ double CountSketch::EstimateF2() const {
           static_cast<double>(counters_[j * options_.buckets + b]);
       sum += c * c;
     }
-    row_estimates[j] = sum;
+    f2_scratch_[j] = sum;
   }
-  return MedianInPlace(row_estimates);
+  return MedianInPlace(f2_scratch_);
 }
 
 size_t CountSketch::SpaceBytes() const {
-  size_t bytes = counters_.size() * sizeof(int64_t);
-  for (const BucketHash& h : bucket_hashes_) bytes += h.SpaceBytes();
-  for (const SignHash& h : sign_hashes_) bytes += h.SpaceBytes();
-  return bytes;
+  return counters_.size() * sizeof(int64_t) + hash_bank_.SpaceBytes() +
+         sizeof(uint64_t) /* bucket range */;
 }
 
 CountSketchTopK::CountSketchTopK(const CountSketchOptions& options, size_t k,
                                  Rng& rng)
     : sketch_(options, rng), k_(k) {
   GSTREAM_CHECK_GE(k, 1u);
+  candidates_.reserve(2 * k + 1);
+  prune_scratch_.reserve(2 * k + 1);
 }
 
 void CountSketchTopK::Update(ItemId item, int64_t delta) {
@@ -103,17 +203,45 @@ void CountSketchTopK::Update(ItemId item, int64_t delta) {
   Refresh(item);
 }
 
+void CountSketchTopK::UpdateBatch(const struct Update* updates, size_t n) {
+  sketch_.UpdateBatch(updates, n);
+  // Refresh each distinct touched item once against the post-batch
+  // counters; estimates only get sharper than the mid-batch values the
+  // sequential loop would have seen.
+  touched_scratch_.clear();
+  for (size_t i = 0; i < n; ++i) touched_scratch_.push_back(updates[i].item);
+  std::sort(touched_scratch_.begin(), touched_scratch_.end());
+  touched_scratch_.erase(
+      std::unique(touched_scratch_.begin(), touched_scratch_.end()),
+      touched_scratch_.end());
+  for (const ItemId item : touched_scratch_) Refresh(item);
+}
+
 void CountSketchTopK::Refresh(ItemId item) {
-  const int64_t est = sketch_.Estimate(item);
-  candidates_[item] = est;
+  candidates_[item] = sketch_.Estimate(item);
   if (candidates_.size() <= 2 * k_) return;
-  // Evict the weakest candidate (by |estimate|).  Linear scan over <= 2k+1
-  // entries; k is small in every configuration we run.
-  auto weakest = candidates_.begin();
-  for (auto it = candidates_.begin(); it != candidates_.end(); ++it) {
-    if (std::llabs(it->second) < std::llabs(weakest->second)) weakest = it;
+  Prune();
+}
+
+void CountSketchTopK::Prune() {
+  // Amortized maintenance: let the set fill the [k, 2k] hysteresis band,
+  // then one O(k) selection keeps the k strongest.  Each prune removes ~k
+  // entries, so the per-update cost is O(1) amortized.
+  prune_scratch_.clear();
+  for (const auto& [item, est] : candidates_) {
+    prune_scratch_.emplace_back(std::llabs(est), item);
   }
-  candidates_.erase(weakest);
+  auto kth = prune_scratch_.begin() + static_cast<ptrdiff_t>(k_ - 1);
+  std::nth_element(prune_scratch_.begin(), kth, prune_scratch_.end(),
+                   Stronger);
+  const std::pair<int64_t, ItemId> cutoff = *kth;
+  for (auto it = candidates_.begin(); it != candidates_.end();) {
+    if (Stronger(cutoff, {std::llabs(it->second), it->first})) {
+      it = candidates_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 std::vector<std::pair<ItemId, int64_t>> CountSketchTopK::TopK() const {

@@ -6,6 +6,23 @@
 // s_j(i) * C[j][h_j(i)], with error O(sqrt(F2 / b)) per query with
 // probability 1 - 2^{-Omega(r)}.
 //
+// Hashing: each row draws ONE 4-wise polynomial H_j over GF(2^61-1) and
+// derives both decisions from it -- bucket h_j(i) = fastrange(H_j(i)) and
+// sign s_j(i) = low bit of H_j(i).  For any four items the H_j values are
+// jointly uniform and independent, so s_j is exactly 4-wise and h_j is
+// (better than) the 2-wise the analysis needs; the only approximation is
+// that s and h of a single item share one uniform value, which correlates
+// them by at most 2^-(61 - log2 b) per item -- far below the fastrange
+// bucket bias already accounted for.  Halving the hash work this way is
+// what the per-update cost budget is spent on.
+//
+// The coefficients live in a structure-of-arrays KWiseHashBank, so
+// UpdateBatch walks a chunk row-major with the row's four coefficients in
+// registers and no heap traffic; Update and UpdateBatch produce
+// bit-identical counters.  Query scratch (median buffers) is hoisted into
+// mutable members, making the steady-state update and query paths
+// allocation-free.  Queries are not thread-safe for that reason.
+//
 // Two decoding modes are provided:
 //   * TrackTopK: a running candidate set maintained during the stream (the
 //     standard CountSketch-with-heap construction) -- a genuine one-pass
@@ -36,6 +53,7 @@ class CountSketch : public LinearSketch {
   CountSketch(const CountSketchOptions& options, Rng& rng);
 
   void Update(ItemId item, int64_t delta) override;
+  void UpdateBatch(const struct Update* updates, size_t n) override;
 
   // Adds another sketch's counters into this one.  Both sketches must have
   // been constructed with the same geometry from equal-state Rngs (same
@@ -58,23 +76,52 @@ class CountSketch : public LinearSketch {
   size_t rows() const { return options_.rows; }
   size_t buckets() const { return options_.buckets; }
 
+  // Raw counter state (rows * buckets, row-major); used by the
+  // batch/single equivalence tests.
+  const std::vector<int64_t>& counters() const { return counters_; }
+
  private:
+  // H_j(item) for row j, given the item's precomputed field powers.
+  uint64_t RowHash(size_t j, uint64_t xm, uint64_t x2, uint64_t x3) const {
+    return Eval4Wise(hash_bank_.DegreeCoeffs(0)[j],
+                     hash_bank_.DegreeCoeffs(1)[j],
+                     hash_bank_.DegreeCoeffs(2)[j],
+                     hash_bank_.DegreeCoeffs(3)[j], xm, x2, x3);
+  }
+
   CountSketchOptions options_;
-  std::vector<BucketHash> bucket_hashes_;  // one per row, 2-wise
-  std::vector<SignHash> sign_hashes_;      // one per row, 4-wise
-  std::vector<int64_t> counters_;          // rows * buckets, row-major
-  uint64_t hash_fingerprint_ = 0;          // guards MergeFrom
+  KWiseHashBank hash_bank_;        // one 4-wise polynomial per row
+  std::vector<int64_t> counters_;  // rows * buckets, row-major
+  uint64_t hash_fingerprint_ = 0;  // guards MergeFrom
+  // Reusable scratch: batch item powers mod p and deltas (computed once per
+  // chunk, re-read by every row pass), and query median buffers.  Members
+  // so the steady-state paths never allocate.
+  std::vector<uint64_t> xm_scratch_;
+  std::vector<uint64_t> x2_scratch_;
+  std::vector<uint64_t> x3_scratch_;
+  std::vector<int64_t> delta_scratch_;
+  mutable std::vector<int64_t> row_scratch_;
+  mutable std::vector<double> f2_scratch_;
 };
 
 // CountSketch plus a running top-k candidate tracker: after each update the
 // touched item's estimate is refreshed and the best k estimates (by
 // absolute value) are retained.  This is the classic streaming heavy-hitter
 // decode; with deletions an item whose estimate later collapses is evicted.
+//
+// Candidate maintenance is amortized: the set grows freely to 2k, then one
+// O(k) selection prunes it back to the k strongest -- O(1) amortized work
+// per update instead of the per-update linear eviction scan.
 class CountSketchTopK : public LinearSketch {
  public:
   CountSketchTopK(const CountSketchOptions& options, size_t k, Rng& rng);
 
   void Update(ItemId item, int64_t delta) override;
+
+  // Applies the whole batch to the underlying sketch first (bit-identical
+  // counters to the sequential loop), then refreshes each distinct touched
+  // item's estimate once.
+  void UpdateBatch(const struct Update* updates, size_t n) override;
 
   // The current candidates, sorted by decreasing |estimate|.
   std::vector<std::pair<ItemId, int64_t>> TopK() const;
@@ -85,12 +132,16 @@ class CountSketchTopK : public LinearSketch {
 
  private:
   void Refresh(ItemId item);
+  void Prune();
 
   CountSketch sketch_;
   size_t k_;
   // Candidate -> current estimate.  Size capped at 2k (hysteresis band so
   // borderline items are not thrashed in and out).
   std::unordered_map<ItemId, int64_t> candidates_;
+  // Reusable scratch for Prune (|estimate|, item) and batch dedup.
+  std::vector<std::pair<int64_t, ItemId>> prune_scratch_;
+  std::vector<ItemId> touched_scratch_;
 };
 
 }  // namespace gstream

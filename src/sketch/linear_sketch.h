@@ -5,6 +5,14 @@
 // column.  All sketches report their space honestly via SpaceBytes() --
 // counters plus hash-function coefficients -- which is the quantity the
 // space-complexity experiments sweep.
+//
+// Updates arrive either one at a time (Update) or as a contiguous batch
+// (UpdateBatch).  Linearity makes the two equivalent -- counters are sums,
+// and addition commutes -- so implementations are free to reorder a batch
+// (e.g. process it row-major with hash coefficients in registers) as long
+// as the resulting counter state is bit-identical to the sequential loop.
+// The batched path is the hot path: Stream::ForEachBatch drives whole
+// passes through it in cache-sized chunks.
 
 #ifndef GSTREAM_SKETCH_LINEAR_SKETCH_H_
 #define GSTREAM_SKETCH_LINEAR_SKETCH_H_
@@ -22,14 +30,25 @@ class LinearSketch {
   // Processes one turnstile update.
   virtual void Update(ItemId item, int64_t delta) = 0;
 
+  // Processes `n` contiguous updates.  Must leave the sketch in exactly the
+  // state the equivalent sequence of Update calls would; the default
+  // forwards one by one, and sketches override it with allocation-free
+  // batched kernels.
+  virtual void UpdateBatch(const struct Update* updates, size_t n) {
+    for (size_t i = 0; i < n; ++i) Update(updates[i].item, updates[i].delta);
+  }
+
   // Bytes of state: counters plus hash seeds.  Excludes transient query
   // scratch space.
   virtual size_t SpaceBytes() const = 0;
 };
 
-// Feeds every update of `stream` into `sketch` (one pass).
+// Feeds every update of `stream` into `sketch` (one pass) through the
+// batched path in chunks of kStreamBatchSize.
 inline void ProcessStream(LinearSketch& sketch, const Stream& stream) {
-  for (const Update& u : stream.updates()) sketch.Update(u.item, u.delta);
+  stream.ForEachBatch(kStreamBatchSize, [&](const Update* ups, size_t n) {
+    sketch.UpdateBatch(ups, n);
+  });
 }
 
 }  // namespace gstream

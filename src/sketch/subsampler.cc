@@ -6,23 +6,24 @@ namespace gstream {
 
 NestedSubsampler::NestedSubsampler(int max_level, Rng& rng) {
   GSTREAM_CHECK_GE(max_level, 0);
-  level_hashes_.reserve(static_cast<size_t>(max_level));
-  for (int l = 0; l < max_level; ++l) level_hashes_.emplace_back(rng);
+  a0_.reserve(static_cast<size_t>(max_level));
+  a1_.reserve(static_cast<size_t>(max_level));
+  // Same draw as BernoulliHash (a pairwise KWiseHash): a_0, a_1 uniform with
+  // a nonzero leading coefficient.
+  for (int l = 0; l < max_level; ++l) {
+    a0_.push_back(rng.UniformUint64(kMersenne61));
+    uint64_t lead = rng.UniformUint64(kMersenne61);
+    a1_.push_back(lead == 0 ? 1 : lead);
+  }
 }
 
-int NestedSubsampler::LevelOf(ItemId item) const {
-  int level = 0;
-  for (const BernoulliHash& h : level_hashes_) {
-    if (!h(item)) break;
-    ++level;
-  }
-  return level;
+void NestedSubsampler::LevelOfBatch(const Update* updates, size_t n,
+                                    int* out) const {
+  for (size_t i = 0; i < n; ++i) out[i] = LevelOf(updates[i].item);
 }
 
 size_t NestedSubsampler::SpaceBytes() const {
-  size_t bytes = 0;
-  for (const BernoulliHash& h : level_hashes_) bytes += h.SpaceBytes();
-  return bytes;
+  return (a0_.size() + a1_.size()) * sizeof(uint64_t);
 }
 
 }  // namespace gstream

@@ -7,6 +7,11 @@
 // per level, so S_0 superset S_1 superset ... superset S_L and
 // E|S_l| = n / 2^l.  LevelOf(i) returns the deepest level containing i in
 // O(LevelOf(i)) hash evaluations -- O(1) in expectation.
+//
+// The per-level pairwise coefficients are stored as two flat arrays
+// (structure-of-arrays) rather than one object per level, so the level walk
+// is a tight loop with no pointer chasing, and LevelOfBatch classifies a
+// whole chunk of updates without allocating.
 
 #ifndef GSTREAM_SKETCH_SUBSAMPLER_H_
 #define GSTREAM_SKETCH_SUBSAMPLER_H_
@@ -25,19 +30,36 @@ class NestedSubsampler {
   NestedSubsampler(int max_level, Rng& rng);
 
   // Deepest level whose sample contains `item`, in [0, max_level].
-  int LevelOf(ItemId item) const;
+  int LevelOf(ItemId item) const {
+    const uint64_t xm = ReduceToField(item);
+    int level = 0;
+    const int max = static_cast<int>(a0_.size());
+    while (level < max &&
+           (MulAddMod61(a1_[static_cast<size_t>(level)], xm,
+                        a0_[static_cast<size_t>(level)]) &
+            1) != 0) {
+      ++level;
+    }
+    return level;
+  }
+
+  // Writes LevelOf(updates[i].item) into out[i] for a whole chunk.
+  void LevelOfBatch(const Update* updates, size_t n, int* out) const;
 
   // True iff `item` survives to `level`.
   bool InLevel(ItemId item, int level) const {
     return LevelOf(item) >= level;
   }
 
-  int max_level() const { return static_cast<int>(level_hashes_.size()); }
+  int max_level() const { return static_cast<int>(a0_.size()); }
 
   size_t SpaceBytes() const;
 
  private:
-  std::vector<BernoulliHash> level_hashes_;  // one per level 1..L
+  // Pairwise coefficients of the level-l survival hash (levels 1..L):
+  // item survives iff (a1_[l] * x + a0_[l] mod p) is odd.
+  std::vector<uint64_t> a0_;
+  std::vector<uint64_t> a1_;
 };
 
 }  // namespace gstream

@@ -9,6 +9,7 @@
 #ifndef GSTREAM_STREAM_STREAM_H_
 #define GSTREAM_STREAM_STREAM_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -27,6 +28,10 @@ struct Update {
   ItemId item = 0;
   int64_t delta = 0;
 };
+
+// Default chunk size for batched stream consumption: 512 updates (8 KiB)
+// keep a whole chunk resident in L1 while a sketch re-scans it row-major.
+inline constexpr size_t kStreamBatchSize = 512;
 
 // An in-memory turnstile stream over domain [0, n).
 //
@@ -48,6 +53,18 @@ class Stream {
   uint64_t domain() const { return domain_; }
   size_t length() const { return updates_.size(); }
   const std::vector<Update>& updates() const { return updates_; }
+
+  // Invokes `fn(const Update*, size_t)` on consecutive chunks of at most
+  // `max_batch` updates, covering the stream in arrival order.  This is the
+  // driver for the batched sketch path: one forward scan, no copies.
+  template <typename Fn>
+  void ForEachBatch(size_t max_batch, Fn&& fn) const {
+    const Update* data = updates_.data();
+    const size_t total = updates_.size();
+    for (size_t i = 0; i < total; i += max_batch) {
+      fn(data + i, std::min(max_batch, total - i));
+    }
+  }
 
   // True iff every delta equals +1 (the insertion-only model in which the
   // paper's lower bounds already hold).

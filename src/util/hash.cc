@@ -4,19 +4,6 @@
 
 namespace gstream {
 
-uint64_t ModMersenne61(__uint128_t x) {
-  // Fold twice in 128 bits (the high part of a 128-bit value exceeds 64
-  // bits, so the folds must stay wide), then finish with conditional
-  // subtractions: after the first fold x < 2^61 + 2^67, after the second
-  // x < 2^61 + 2^7.
-  x = (x & kMersenne61) + (x >> 61);
-  x = (x & kMersenne61) + (x >> 61);
-  uint64_t r = static_cast<uint64_t>(x);
-  if (r >= kMersenne61) r -= kMersenne61;
-  if (r >= kMersenne61) r -= kMersenne61;
-  return r;
-}
-
 KWiseHash::KWiseHash(int k, Rng& rng) {
   GSTREAM_CHECK_GE(k, 1);
   coeffs_.resize(static_cast<size_t>(k));
@@ -26,14 +13,29 @@ KWiseHash::KWiseHash(int k, Rng& rng) {
 }
 
 uint64_t KWiseHash::operator()(uint64_t x) const {
-  const uint64_t xm = x % kMersenne61;
+  const uint64_t xm = ReduceToField(x);
   uint64_t acc = coeffs_.back();
   for (size_t i = coeffs_.size() - 1; i-- > 0;) {
-    acc = MulMod61(acc, xm);
-    acc += coeffs_[i];
-    if (acc >= kMersenne61) acc -= kMersenne61;
+    acc = MulAddMod61(acc, xm, coeffs_[i]);
   }
   return acc;
+}
+
+KWiseHashBank::KWiseHashBank(int k, size_t rows, Rng& rng)
+    : k_(k), rows_(rows) {
+  GSTREAM_CHECK_GE(k, 1);
+  GSTREAM_CHECK_GE(rows, 1u);
+  coeffs_.resize(static_cast<size_t>(k) * rows);
+  // Draw row-by-row (a_0 .. a_{k-1} per row, matching the scalar classes'
+  // consumption order), storing into the degree-major layout.
+  for (size_t r = 0; r < rows; ++r) {
+    for (int d = 0; d < k; ++d) {
+      coeffs_[static_cast<size_t>(d) * rows + r] =
+          rng.UniformUint64(kMersenne61);
+    }
+    uint64_t& lead = coeffs_[static_cast<size_t>(k - 1) * rows + r];
+    if (k > 1 && lead == 0) lead = 1;
+  }
 }
 
 BucketHash::BucketHash(int k, uint64_t range, Rng& rng)

@@ -12,6 +12,17 @@
 // GF(2^61 - 1), the textbook construction: h(x) = sum a_i x^i mod p.  A
 // degree-(k-1) polynomial with uniform coefficients is exactly k-wise
 // independent on inputs < p.
+//
+// Two layouts are provided:
+//   * KWiseHash / BucketHash / SignHash / BernoulliHash: one function per
+//     object, coefficients in their own vector.  Convenient for structures
+//     that hold a single function.
+//   * KWiseHashBank: R functions of equal independence stored
+//     structure-of-arrays (all degree-d coefficients contiguous), so the
+//     per-row sketches (CountSketch, Count-Min, AMS, g_np, the subsampler)
+//     can evaluate one item against every row in a tight loop with the
+//     row's coefficients held in registers -- the allocation-free batched
+//     update path.
 
 #ifndef GSTREAM_UTIL_HASH_H_
 #define GSTREAM_UTIL_HASH_H_
@@ -26,12 +37,109 @@ namespace gstream {
 // The Mersenne prime 2^61 - 1 used as the hash field modulus.
 inline constexpr uint64_t kMersenne61 = (uint64_t{1} << 61) - 1;
 
-// Reduces a 128-bit product modulo 2^61 - 1.
-uint64_t ModMersenne61(__uint128_t x);
+// Reduces a 128-bit product modulo 2^61 - 1.  Inline: this is the innermost
+// operation of every sketch update kernel, and an out-of-line call here
+// costs more than the reduction itself.
+inline uint64_t ModMersenne61(__uint128_t x) {
+  // Fold twice in 128 bits (the high part of a 128-bit value exceeds 64
+  // bits, so the folds must stay wide), then finish with one conditional
+  // subtraction: after the first fold x < 2^61 + 2^67, after the second
+  // x <= (2^61 - 1) + 65, so a single subtraction of p canonicalizes.
+  x = (x & kMersenne61) + (x >> 61);
+  x = (x & kMersenne61) + (x >> 61);
+  uint64_t r = static_cast<uint64_t>(x);
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
 
 // Multiplies two field elements modulo 2^61 - 1.
 inline uint64_t MulMod61(uint64_t a, uint64_t b) {
   return ModMersenne61(static_cast<__uint128_t>(a) * b);
+}
+
+// One fused Horner step: a * x + c mod 2^61 - 1, for a, c < 2^61 and
+// x < 2^61.  The 128-bit intermediate a*x + c < 2^123 stays within what
+// ModMersenne61's two folds can reduce.
+inline uint64_t MulAddMod61(uint64_t a, uint64_t x, uint64_t c) {
+  return ModMersenne61(static_cast<__uint128_t>(a) * x + c);
+}
+
+// Reduces an arbitrary 64-bit key into the hash field [0, 2^61 - 1).
+inline uint64_t ReduceToField(uint64_t x) { return x % kMersenne61; }
+
+// Lazy variants for hot loops: results are congruent mod p but may exceed
+// p by a few units (bounds below), deferring canonicalization to the final
+// reduction of the evaluation chain (e.g. Eval4Wise's ModMersenne61, which
+// canonicalizes any 128-bit input).  Chains built from these produce the
+// same canonical hash value as their eager counterparts.
+
+// result == x (mod p), result <= p + 7.
+inline uint64_t ReduceToFieldLazy(uint64_t x) {
+  return (x & kMersenne61) + (x >> 61);
+}
+
+// result == a*b (mod p), result < 2^63, for a, b < 2^63 with a*b < 2^125:
+// a single fold leaves at most two carry bits above p.
+inline uint64_t MulMod61Lazy(uint64_t a, uint64_t b) {
+  const __uint128_t y = static_cast<__uint128_t>(a) * b;
+  return static_cast<uint64_t>((y & kMersenne61) + (y >> 61));
+}
+
+// Lazy powers x, x^2, x^3 (mod p) of a 64-bit key, the shared per-item
+// precomputation of every 4-wise kernel: x <= p + 7, x^2 and x^3 < 2^63,
+// within Eval4Wise's input bounds.  All update and query paths of a sketch
+// must derive their hashes from this same helper so the values agree
+// bit-for-bit.
+inline void FieldPowers3Lazy(uint64_t key, uint64_t* x, uint64_t* x2,
+                             uint64_t* x3) {
+  *x = ReduceToFieldLazy(key);
+  *x2 = MulMod61Lazy(*x, *x);
+  *x3 = MulMod61Lazy(*x2, *x);
+}
+
+// Evaluates the degree-3 polynomial c0 + c1 x + c2 x^2 + c3 x^3 mod p given
+// precomputed powers x2 == x^2, x3 == x^3 (mod p); lazy representatives
+// are accepted (x <= p + 7, x2 and x3 < 2^63, the FieldPowers3Lazy
+// bounds).  The three 128-bit products (each < 2^124) and c0 are summed
+// exactly in 128 bits (< 2^126) and reduced once -- one fold pass instead
+// of one per Horner step, which is what makes the 4-wise kernels cheap
+// when the powers are hoisted out of the per-row loop.  Returns the same
+// canonical value as Horner evaluation at the canonical x.
+inline uint64_t Eval4Wise(uint64_t c0, uint64_t c1, uint64_t c2, uint64_t c3,
+                          uint64_t x, uint64_t x2, uint64_t x3) {
+  const __uint128_t sum = static_cast<__uint128_t>(c1) * x +
+                          static_cast<__uint128_t>(c2) * x2 +
+                          static_cast<__uint128_t>(c3) * x3 + c0;
+  // Specialized reduction: sum < 2^125, so hi < 2^61 and both folds fit in
+  // 64-bit registers (sum >> 61 < 2^64, first fold < 2^61 + 2^64/8 + ...
+  // < 2^64), sparing the 128-bit carry chains of the generic ModMersenne61.
+  const uint64_t lo = static_cast<uint64_t>(sum);
+  const uint64_t hi = static_cast<uint64_t>(sum >> 64);
+  uint64_t r = (lo & kMersenne61) + ((hi << 3) | (lo >> 61));
+  r = (r & kMersenne61) + (r >> 61);
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+// Maps a field element h in [0, 2^61) onto [0, range) by Lemire's
+// multiply-shift fastrange, adapted to the 61-bit hash domain:
+// floor(h * range / 2^61).  No hardware divide.  Each bucket receives
+// either floor(2^61 / range) or ceil(2^61 / range) preimages of [0, 2^61),
+// and h ranges over the field [0, 2^61 - 1), so the per-bucket probability
+// deviates from 1/range by at most (range + 1) / 2^61 -- the same
+// negligible bias bound as the modulo reduction it replaces.
+inline uint64_t FastRange61(uint64_t h, uint64_t range) {
+  return static_cast<uint64_t>((static_cast<__uint128_t>(h) * range) >> 61);
+}
+
+// For a power-of-two range 2^k, FastRange61(h, 2^k) == h >> (61 - k)
+// exactly, so hot loops can replace the widening multiply with one shift.
+// Returns that shift, or -1 if `range` is not a power of two.
+inline int FastRange61Shift(uint64_t range) {
+  if (range == 0 || (range & (range - 1)) != 0) return -1;
+  int k = 0;
+  while ((uint64_t{1} << k) != range) ++k;
+  return 61 - k;
 }
 
 // A k-wise independent hash function h : [2^61-1) -> [2^61-1).
@@ -55,15 +163,67 @@ class KWiseHash {
   std::vector<uint64_t> coeffs_;  // a_0 .. a_{k-1}
 };
 
+// A bank of `rows` independent k-wise hash functions sharing one flat
+// structure-of-arrays coefficient store: coefficient a_d of row r lives at
+// coeffs_[d * rows + r].  DegreeCoeffs(d) exposes the contiguous degree-d
+// slice so a hot loop over a batch of items can keep one row's coefficients
+// in registers, and EvalAll evaluates every row at one point with the inner
+// loop over rows (no per-row object indirection, no allocation).
+class KWiseHashBank {
+ public:
+  // Draws `rows` uniformly random degree-(k-1) polynomials.  k >= 1.
+  KWiseHashBank(int k, size_t rows, Rng& rng);
+
+  // Evaluates row `r` at the pre-reduced point `xm` (xm < 2^61 - 1).
+  uint64_t EvalRow(size_t r, uint64_t xm) const {
+    uint64_t acc = coeffs_[static_cast<size_t>(k_ - 1) * rows_ + r];
+    for (int d = k_ - 2; d >= 0; --d) {
+      acc = MulAddMod61(acc, xm, coeffs_[static_cast<size_t>(d) * rows_ + r]);
+    }
+    return acc;
+  }
+
+  // Evaluates every row at `xm`, writing rows() values into `out`.
+  void EvalAll(uint64_t xm, uint64_t* out) const {
+    const uint64_t* lead = DegreeCoeffs(k_ - 1);
+    for (size_t r = 0; r < rows_; ++r) out[r] = lead[r];
+    for (int d = k_ - 2; d >= 0; --d) {
+      const uint64_t* cs = DegreeCoeffs(d);
+      for (size_t r = 0; r < rows_; ++r) {
+        out[r] = MulAddMod61(out[r], xm, cs[r]);
+      }
+    }
+  }
+
+  // The contiguous array of degree-`d` coefficients, one per row.
+  const uint64_t* DegreeCoeffs(int d) const {
+    return coeffs_.data() + static_cast<size_t>(d) * rows_;
+  }
+
+  int independence() const { return k_; }
+  size_t rows() const { return rows_; }
+
+  // Bytes of state held by the bank (all coefficients).
+  size_t SpaceBytes() const { return coeffs_.size() * sizeof(uint64_t); }
+
+ private:
+  int k_ = 0;
+  size_t rows_ = 0;
+  std::vector<uint64_t> coeffs_;  // coeffs_[d * rows_ + r]
+};
+
 // A k-wise independent hash into buckets [0, range).
 //
-// Composes KWiseHash with a modulo reduction; for range << 2^61 the bias is
-// at most range / 2^61 per bucket, negligible for every use in this library.
+// Composes KWiseHash with the FastRange61 multiply-shift reduction; the
+// per-bucket bias is at most (range + 1) / 2^61 (see FastRange61),
+// negligible for every use in this library.
 class BucketHash {
  public:
   BucketHash(int k, uint64_t range, Rng& rng);
 
-  uint64_t operator()(uint64_t x) const { return hash_(x) % range_; }
+  uint64_t operator()(uint64_t x) const {
+    return FastRange61(hash_(x), range_);
+  }
 
   uint64_t range() const { return range_; }
   size_t SpaceBytes() const { return hash_.SpaceBytes() + sizeof(range_); }

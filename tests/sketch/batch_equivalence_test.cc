@@ -1,0 +1,213 @@
+// Batch/single equivalence: UpdateBatch must leave every sketch's linear
+// state bit-identical to the equivalent sequence of Update calls, for any
+// chunking of the stream.  This is the contract that lets ProcessStream
+// drive whole passes through the batched kernels (linear_sketch.h), and it
+// must survive any future kernel rewrite.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "core/gnp_sketch.h"
+#include "core/gsum.h"
+#include "core/one_pass_hh.h"
+#include "core/recursive_sketch.h"
+#include "core/two_pass_hh.h"
+#include "gfunc/catalog.h"
+#include "sketch/ams.h"
+#include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
+#include "sketch/linear_sketch.h"
+#include "stream/generators.h"
+
+namespace gstream {
+namespace {
+
+// A random turnstile stream: Zipf base frequencies plus churn (matched
+// +d/-d pairs), shuffled.
+Stream MakeTurnstileStream(uint64_t seed, uint64_t domain = 1 << 12,
+                           size_t items = 800) {
+  Rng rng(seed);
+  StreamShapeOptions shape;
+  shape.churn_pairs = 400;
+  return MakeZipfWorkload(domain, items, 1.1, 5000, shape, rng).stream;
+}
+
+// Feeds `stream` through sketch `a` one update at a time and through `b` in
+// chunks of every size in `chunks`.
+template <typename SketchT>
+void DriveBoth(SketchT& single, SketchT& batched, const Stream& stream) {
+  for (const Update& u : stream.updates()) single.Update(u.item, u.delta);
+  size_t chunk = 1;
+  size_t consumed = 0;
+  const std::vector<Update>& ups = stream.updates();
+  // Varying chunk sizes (1, 2, 4, ... then the tail) exercises every batch
+  // boundary case, including n == 0 at the end.
+  while (consumed < ups.size()) {
+    const size_t n = std::min(chunk, ups.size() - consumed);
+    batched.UpdateBatch(ups.data() + consumed, n);
+    consumed += n;
+    chunk *= 2;
+  }
+  batched.UpdateBatch(ups.data(), 0);  // empty batch is a no-op
+}
+
+TEST(BatchEquivalenceTest, CountSketchCountersBitIdentical) {
+  const Stream stream = MakeTurnstileStream(101);
+  Rng r1(7), r2(7);
+  CountSketch single(CountSketchOptions{5, 256}, r1);
+  CountSketch batched(CountSketchOptions{5, 256}, r2);
+  DriveBoth(single, batched, stream);
+  EXPECT_EQ(single.counters(), batched.counters());
+}
+
+TEST(BatchEquivalenceTest, CountMinCountersBitIdentical) {
+  const Stream stream = MakeTurnstileStream(102);
+  Rng r1(8), r2(8);
+  CountMinSketch single(CountMinOptions{5, 256}, r1);
+  CountMinSketch batched(CountMinOptions{5, 256}, r2);
+  DriveBoth(single, batched, stream);
+  EXPECT_EQ(single.counters(), batched.counters());
+}
+
+TEST(BatchEquivalenceTest, AmsSumsBitIdentical) {
+  const Stream stream = MakeTurnstileStream(103);
+  Rng r1(9), r2(9);
+  AmsSketch single(AmsOptions{16, 5}, r1);
+  AmsSketch batched(AmsOptions{16, 5}, r2);
+  DriveBoth(single, batched, stream);
+  EXPECT_EQ(single.sums(), batched.sums());
+}
+
+TEST(BatchEquivalenceTest, GnpCountersBitIdentical) {
+  const Stream stream = MakeTurnstileStream(104);
+  GnpSketchOptions options;
+  options.substreams = 16;
+  options.trials = 8;
+  options.id_bits = 12;
+  Rng r1(10), r2(10);
+  GnpHeavyHitter single(options, r1);
+  GnpHeavyHitter batched(options, r2);
+  DriveBoth(single, batched, stream);
+  EXPECT_EQ(single.counters(), batched.counters());
+}
+
+TEST(BatchEquivalenceTest, TopKInnerCountersBitIdentical) {
+  const Stream stream = MakeTurnstileStream(105);
+  Rng r1(11), r2(11);
+  CountSketchTopK single(CountSketchOptions{5, 256}, 16, r1);
+  CountSketchTopK batched(CountSketchOptions{5, 256}, 16, r2);
+  DriveBoth(single, batched, stream);
+  // The linear state must match exactly; the candidate set is maintenance
+  // metadata and may legitimately differ by refresh timing, but both
+  // decodes read the same counters.
+  EXPECT_EQ(single.sketch().counters(), batched.sketch().counters());
+}
+
+TEST(BatchEquivalenceTest, TopKBatchedStillFindsPlantedHeavyHitter) {
+  Rng rng(106);
+  ItemId heavy = 0;
+  const Workload w = MakePlantedHeavyHitterWorkload(
+      1 << 12, 500, 20, 100000, StreamShapeOptions{}, rng, &heavy);
+  Rng r1(12);
+  CountSketchTopK topk(CountSketchOptions{5, 512}, 10, r1);
+  ProcessStream(topk, w.stream);  // batched path
+  const auto top = topk.TopK();
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].first, heavy);
+}
+
+TEST(BatchEquivalenceTest, DefaultUpdateBatchForwardsToUpdate) {
+  // A sketch without an override gets the base-class loop.
+  const Stream stream = MakeTurnstileStream(107, 1 << 8, 50);
+  ExactHeavyHitterSketch single, batched;
+  DriveBoth(single, batched, stream);
+  const GFunctionPtr g = MakePower(2.0);
+  EXPECT_EQ(single.Cover(*g).size(), batched.Cover(*g).size());
+}
+
+TEST(BatchEquivalenceTest, RecursiveSketchLevelRoutingMatches) {
+  const Stream stream = MakeTurnstileStream(108);
+  GHeavyHitterFactory factory = [](int /*level*/, Rng& /*rng*/) {
+    return std::make_unique<ExactHeavyHitterSketch>();
+  };
+  Rng r1(13), r2(13);
+  RecursiveGSum single(6, factory, r1);
+  RecursiveGSum batched(6, factory, r2);
+  for (const Update& u : stream.updates()) single.Update(u.item, u.delta);
+  stream.ForEachBatch(64, [&](const Update* ups, size_t n) {
+    batched.UpdateBatch(ups, n);
+  });
+  const GFunctionPtr g = MakePower(2.0);
+  EXPECT_DOUBLE_EQ(single.Estimate(*g), batched.Estimate(*g));
+}
+
+TEST(BatchEquivalenceTest, MergeFromAfterBatchMatchesConcatenatedStream) {
+  // Shard the stream, feed each shard through the batched path into its own
+  // same-seed sketch, merge, and compare against one sketch that processed
+  // the concatenation -- linearity end to end.
+  const Stream left = MakeTurnstileStream(109);
+  const Stream right = MakeTurnstileStream(110);
+  Stream both(left.domain());
+  both.AppendStream(left);
+  both.AppendStream(right);
+
+  Rng ra(21), rb(21), rc(21);
+  CountSketch shard_a(CountSketchOptions{5, 512}, ra);
+  CountSketch shard_b(CountSketchOptions{5, 512}, rb);
+  CountSketch reference(CountSketchOptions{5, 512}, rc);
+  ProcessStream(shard_a, left);
+  ProcessStream(shard_b, right);
+  ProcessStream(reference, both);
+  shard_a.MergeFrom(shard_b);
+  EXPECT_EQ(shard_a.counters(), reference.counters());
+
+  Rng rd(22), re(22), rf(22);
+  AmsSketch ams_a(AmsOptions{8, 5}, rd);
+  AmsSketch ams_b(AmsOptions{8, 5}, re);
+  AmsSketch ams_ref(AmsOptions{8, 5}, rf);
+  ProcessStream(ams_a, left);
+  ProcessStream(ams_b, right);
+  ProcessStream(ams_ref, both);
+  ams_a.MergeFrom(ams_b);
+  EXPECT_EQ(ams_a.sums(), ams_ref.sums());
+
+  Rng rg(23), rh(23), ri(23);
+  CountMinSketch cm_a(CountMinOptions{5, 512}, rg);
+  CountMinSketch cm_b(CountMinOptions{5, 512}, rh);
+  CountMinSketch cm_ref(CountMinOptions{5, 512}, ri);
+  ProcessStream(cm_a, left);
+  ProcessStream(cm_b, right);
+  ProcessStream(cm_ref, both);
+  cm_a.MergeFrom(cm_b);
+  EXPECT_EQ(cm_a.counters(), cm_ref.counters());
+}
+
+TEST(BatchEquivalenceTest, GSumBatchedPipelineMatchesSequential) {
+  // End-to-end: the one-pass g-sum estimator fed via Update versus
+  // UpdateBatch must produce the identical estimate (same covers from the
+  // same counters; TopK refresh timing differences may only affect which
+  // borderline candidates survive, so compare the final estimates loosely
+  // and the sketch spaces exactly).
+  const Stream stream = MakeTurnstileStream(111, 1 << 10, 300);
+  GSumOptions options;
+  options.passes = 1;
+  options.cs_buckets = 512;
+  options.candidates = 48;
+  options.repetitions = 3;
+  GSumEstimator sequential(MakePower(2.0), 1 << 10, options);
+  GSumEstimator batched(MakePower(2.0), 1 << 10, options);
+  for (const Update& u : stream.updates()) {
+    sequential.Update(u.item, u.delta);
+  }
+  stream.ForEachBatch(kStreamBatchSize, [&](const Update* ups, size_t n) {
+    batched.UpdateBatch(ups, n);
+  });
+  const double a = sequential.Estimate();
+  const double b = batched.Estimate();
+  EXPECT_NEAR(a, b, 0.05 * std::abs(a) + 1e-9);
+}
+
+}  // namespace
+}  // namespace gstream

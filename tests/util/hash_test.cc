@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <vector>
@@ -101,6 +102,74 @@ TEST(BucketHashTest, RoughlyUniformAcrossBuckets) {
     chi2 += d * d / expected;
   }
   EXPECT_LT(chi2, 60.0);
+}
+
+TEST(FastRange61Test, MatchesMultiplyShiftDefinition) {
+  // Pins the reduction formula floor(h * range / 2^61) so the bucket layout
+  // stays stable across refactors (sketch determinism depends on it).
+  EXPECT_EQ(FastRange61(0, 37), 0u);
+  EXPECT_EQ(FastRange61(kMersenne61 - 1, 37), 36u);
+  const uint64_t h = uint64_t{1} << 60;  // halfway through the domain
+  EXPECT_EQ(FastRange61(h, 10), 5u);
+  for (uint64_t range : {1ull, 2ull, 37ull, 1024ull}) {
+    for (uint64_t x :
+         {uint64_t{0}, uint64_t{12345}, (uint64_t{1} << 45) + 17,
+          kMersenne61 - 2}) {
+      EXPECT_EQ(FastRange61(x, range),
+                static_cast<uint64_t>(
+                    (static_cast<__uint128_t>(x) * range) >> 61));
+      EXPECT_LT(FastRange61(x, range), range);
+    }
+  }
+}
+
+TEST(FastRange61Test, BucketBiasWithinDocumentedBound) {
+  // FastRange61 maps [0, 2^61) onto contiguous bucket preimages of size
+  // floor(2^61/range) or ceil(2^61/range); over the field [0, 2^61 - 1) the
+  // per-bucket probability deviates from 1/range by at most
+  // (range + 1) / 2^61.  Verify the preimage-size claim exactly by locating
+  // every bucket boundary: bucket b starts at ceil(b * 2^61 / range).
+  const uint64_t range = 37;
+  const __uint128_t domain = static_cast<__uint128_t>(1) << 61;
+  uint64_t prev_start = 0;
+  uint64_t min_width = ~uint64_t{0};
+  uint64_t max_width = 0;
+  for (uint64_t b = 1; b <= range; ++b) {
+    const uint64_t start =
+        b == range
+            ? static_cast<uint64_t>(domain)
+            : static_cast<uint64_t>((domain * b + range - 1) / range);
+    if (b < range) {
+      // The boundary really separates bucket b-1 from bucket b.
+      EXPECT_EQ(FastRange61(start - 1, range), b - 1);
+      EXPECT_EQ(FastRange61(start, range), b);
+    }
+    const uint64_t width = start - prev_start;
+    min_width = std::min(min_width, width);
+    max_width = std::max(max_width, width);
+    prev_start = start;
+  }
+  const uint64_t floor_width = static_cast<uint64_t>(domain / range);
+  EXPECT_GE(min_width, floor_width);
+  EXPECT_LE(max_width, floor_width + 1);
+}
+
+TEST(BucketHashTest, FastRangeDistributionMatchesModuloQuality) {
+  // The fastrange switch must not cost statistical quality: a pairwise
+  // BucketHash over sequential keys should fill buckets to within a few
+  // standard deviations of uniform, same as the modulo reduction it
+  // replaced.
+  Rng rng(29);
+  const uint64_t buckets = 64;
+  BucketHash h(2, buckets, rng);
+  std::vector<int> counts(buckets, 0);
+  const int draws = 1 << 18;
+  for (int x = 0; x < draws; ++x) ++counts[h(static_cast<uint64_t>(x))];
+  const double expected = static_cast<double>(draws) / buckets;
+  const double sd = std::sqrt(expected);
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, 6.0 * sd);
+  }
 }
 
 TEST(SignHashTest, BalancedSigns) {

@@ -7,7 +7,10 @@
 //     so future PRs always compare against the original baseline;
 //   * single      -- the current Update() path (SoA banks + fastrange);
 //   * batched     -- UpdateBatch() driven by Stream::ForEachBatch.
-// plus the end-to-end one-pass g-sum pipeline (single vs batched).
+// plus the end-to-end one-pass g-sum pipeline (single vs batched) and, for
+// CountSketch, the sharded ingestion engine at 1/2/4/8 worker threads
+// (round-robin chunks; `sharded4_hash` uses hash-by-item) -- the
+// Open -> Submit -> Close -> merge lifecycle of src/engine/.
 //
 // Run via the `bench` CMake target or bench/run_all.sh; flags:
 //   --out PATH     JSON output path (default BENCH_sketch.json)
@@ -24,6 +27,7 @@
 #include "bench/harness.h"
 #include "core/gnp_sketch.h"
 #include "core/gsum.h"
+#include "engine/sharded_ingestor.h"
 #include "gfunc/catalog.h"
 #include "sketch/ams.h"
 #include "sketch/count_min.h"
@@ -208,6 +212,19 @@ size_t DriveBatched(LinearSketch& sketch, const Stream& stream) {
   return sketch.SpaceBytes();
 }
 
+// One sharded pass: replicas from `make`, `shards` workers, merge at close.
+// Measures the full Open -> Submit -> Close -> merge lifecycle, i.e. what a
+// caller replacing ProcessStream with the engine actually pays.
+template <typename MakeFn>
+size_t DriveSharded(const Stream& stream, size_t shards,
+                    PartitionPolicy policy, MakeFn&& make) {
+  IngestEngineOptions options;
+  options.shards = shards;
+  options.policy = policy;
+  auto merged = ProcessStreamSharded(stream, options, make);
+  return merged.SpaceBytes();
+}
+
 int Run(int argc, char** argv) {
   std::string out_path = "BENCH_sketch.json";
   size_t cs_updates = 10000000;
@@ -268,6 +285,33 @@ int Run(int argc, char** argv) {
     CountSketch cs(CountSketchOptions{5, 1024}, rng);
     return DriveBatched(cs, stream);
   }));
+
+  // Sharded ingestion engine scaling (1/2/4/8 workers, round-robin chunks,
+  // plus hash-by-item at 4): the full Open -> Submit -> Close -> merge
+  // lifecycle per run.  Scaling is real only on multi-core hosts; on a
+  // single-core runner these bound the engine's overhead instead (see
+  // bench/README.md).
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    report.Add(Measure("count_sketch/sharded" + std::to_string(shards),
+                       stream.length(), repeats, [&, shards] {
+                         return DriveSharded(
+                             stream, shards,
+                             PartitionPolicy::kRoundRobinChunks, [](size_t) {
+                               Rng rng(1);
+                               return CountSketch(CountSketchOptions{5, 1024},
+                                                  rng);
+                             });
+                       }));
+  }
+  report.Add(Measure("count_sketch/sharded4_hash", stream.length(), repeats,
+                     [&] {
+                       return DriveSharded(
+                           stream, 4, PartitionPolicy::kHashItem, [](size_t) {
+                             Rng rng(1);
+                             return CountSketch(CountSketchOptions{5, 1024},
+                                                rng);
+                           });
+                     }));
 
   // Count-Min (rows 5, buckets 1024).
   report.Add(Measure("count_min/seed_single", stream.length(), repeats, [&] {
@@ -341,6 +385,16 @@ int Run(int argc, char** argv) {
 
   report.AddSpeedup("count_sketch_batched_vs_seed", "count_sketch/batched",
                     "count_sketch/seed_single");
+  report.AddSpeedup("count_sketch_sharded2_vs_batched",
+                    "count_sketch/sharded2", "count_sketch/batched");
+  report.AddSpeedup("count_sketch_sharded4_vs_batched",
+                    "count_sketch/sharded4", "count_sketch/batched");
+  report.AddSpeedup("count_sketch_sharded8_vs_batched",
+                    "count_sketch/sharded8", "count_sketch/batched");
+  report.AddSpeedup("count_sketch_sharded4_vs_seed", "count_sketch/sharded4",
+                    "count_sketch/seed_single");
+  report.AddSpeedup("count_sketch_sharded4_hash_vs_batched",
+                    "count_sketch/sharded4_hash", "count_sketch/batched");
   report.AddSpeedup("count_sketch_single_vs_seed", "count_sketch/single",
                     "count_sketch/seed_single");
   report.AddSpeedup("count_min_batched_vs_seed", "count_min/batched",

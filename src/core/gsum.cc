@@ -4,6 +4,7 @@
 
 #include "core/one_pass_hh.h"
 #include "core/two_pass_hh.h"
+#include "engine/ingest_engine.h"
 #include "gfunc/envelope.h"
 #include "util/bit.h"
 #include "util/logging.h"
@@ -86,6 +87,26 @@ double GSumEstimator::EstimateForG(const GFunction& other) const {
 double GSumEstimator::Process(const Stream& stream) {
   // `struct Update` disambiguates the update type from the member function.
   auto one_pass = [&] {
+    if (options_.parallel_ingest && reps_.size() > 1) {
+      // Broadcast mode: every repetition gets its own worker and sees the
+      // full stream in the same kStreamBatchSize framing ForEachBatch
+      // would produce, so each repetition's state is bit-identical to the
+      // sequential batched pass.
+      IngestEngineOptions engine_options;
+      engine_options.shards = reps_.size();
+      engine_options.policy = PartitionPolicy::kBroadcast;
+      std::vector<BatchSink> sinks;
+      sinks.reserve(reps_.size());
+      for (RecursiveGSum& rep : reps_) {
+        sinks.push_back([&rep](const struct Update* ups, size_t n) {
+          rep.UpdateBatch(ups, n);
+        });
+      }
+      IngestEngine engine(engine_options, std::move(sinks));
+      engine.SubmitStream(stream);
+      engine.Close();
+      return;
+    }
     stream.ForEachBatch(kStreamBatchSize,
                         [&](const struct Update* ups, size_t n) {
                           UpdateBatch(ups, n);

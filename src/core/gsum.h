@@ -55,6 +55,14 @@ struct GSumOptions {
   // Probe magnitudes per sign in the pruning test.
   size_t probe_points = 24;
   uint64_t seed = 0x9b1e;
+  // When true (and repetitions > 1), Process() feeds the repetitions
+  // through the sharded ingestion engine in kBroadcast mode -- one worker
+  // thread per repetition, each draining the identical kStreamBatchSize
+  // chunk sequence a sequential ProcessStream pass would see, so every
+  // repetition's state (and hence the estimate) is bit-identical to the
+  // sequential batched run.  Incremental Update/UpdateBatch callers are
+  // unaffected.
+  bool parallel_ingest = false;
 };
 
 class GSumEstimator {

@@ -1,0 +1,155 @@
+#include "engine/ingest_engine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace gstream {
+
+// Item->shard routing uses SplitMix64 as a stateless mixer: independent of
+// every sketch hash family, so partitioning never correlates with bucket
+// placement, and unseeded so the same item always lands on the same shard
+// across engines.  The reduction is Lemire's multiply-shift rather than a
+// hardware `%` -- this runs once per update under kHashItem.
+size_t IngestEngine::ShardOfItem(ItemId item, size_t n_shards) {
+  uint64_t state = item;
+  const uint64_t h = SplitMix64(state);
+  return static_cast<size_t>(
+      (static_cast<__uint128_t>(h) * n_shards) >> 64);
+}
+
+IngestEngine::IngestEngine(const IngestEngineOptions& options,
+                           std::vector<BatchSink> sinks)
+    : options_(options) {
+  GSTREAM_CHECK_GE(options.shards, 1u);
+  GSTREAM_CHECK_EQ(sinks.size(), options.shards);
+  GSTREAM_CHECK_GE(options.chunk_updates, 1u);
+  GSTREAM_CHECK_LE(options.chunk_updates, kStreamBatchSize);
+  shards_.reserve(options.shards);
+  stats_.shard_updates.assign(options.shards, 0);
+  for (size_t s = 0; s < options.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(s, options.ring_chunks));
+    shards_.back()->sink = std::move(sinks[s]);
+    GSTREAM_CHECK(shards_.back()->sink != nullptr);
+  }
+  // Start workers only after every shard exists; workers touch nothing but
+  // their own shard.
+  for (auto& shard : shards_) {
+    shard->worker = std::thread(&IngestEngine::WorkerLoop, shard.get());
+  }
+}
+
+IngestEngine::~IngestEngine() { Close(); }
+
+void IngestEngine::WorkerLoop(Shard* shard) {
+  for (;;) {
+    UpdateChunk* chunk = shard->ring.Front();
+    if (chunk == nullptr) {
+      // Empty ring: only exit once `done` is set AND the ring is still
+      // empty afterwards.  The producer commits every chunk before setting
+      // `done` (release), so the acquire load here ensures the re-check
+      // observes all of them.
+      if (shard->done.load(std::memory_order_acquire)) {
+        if (shard->ring.Front() == nullptr) break;
+        continue;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    shard->sink(chunk->updates, chunk->n);
+    shard->ring.Pop();
+  }
+}
+
+UpdateChunk* IngestEngine::ReserveSpin(Shard& s) {
+  UpdateChunk* slot = s.ring.TryReserve();
+  if (slot != nullptr) return slot;
+  ++stats_.producer_stalls;
+  do {
+    std::this_thread::yield();
+    slot = s.ring.TryReserve();
+  } while (slot == nullptr);
+  return slot;
+}
+
+void IngestEngine::AppendToShard(Shard& s, const Update& u) {
+  if (s.open == nullptr) {
+    s.open = ReserveSpin(s);
+    s.open->n = 0;
+  }
+  s.open->updates[s.open->n++] = u;
+  ++stats_.shard_updates[s.index];
+  if (s.open->n == options_.chunk_updates) {
+    s.ring.Commit();
+    s.open = nullptr;
+    ++stats_.chunks_committed;
+  }
+}
+
+void IngestEngine::CopyChunkToShard(Shard& s, const Update* updates,
+                                    size_t n) {
+  UpdateChunk* slot = ReserveSpin(s);
+  slot->n = static_cast<uint32_t>(n);
+  std::memcpy(slot->updates, updates, n * sizeof(Update));
+  s.ring.Commit();
+  stats_.shard_updates[s.index] += n;
+  ++stats_.chunks_committed;
+}
+
+void IngestEngine::Submit(const Update* updates, size_t n) {
+  GSTREAM_CHECK(!closed_);
+  if (n == 0) return;
+  stats_.updates_submitted += n;
+  const size_t chunk = options_.chunk_updates;
+  switch (options_.policy) {
+    case PartitionPolicy::kHashItem: {
+      const size_t n_shards = shards_.size();
+      for (size_t i = 0; i < n; ++i) {
+        AppendToShard(*shards_[ShardOfItem(updates[i].item, n_shards)],
+                      updates[i]);
+      }
+      break;
+    }
+    case PartitionPolicy::kRoundRobinChunks: {
+      for (size_t i = 0; i < n; i += chunk) {
+        Shard& s = *shards_[round_robin_next_];
+        round_robin_next_ = (round_robin_next_ + 1) % shards_.size();
+        CopyChunkToShard(s, updates + i, std::min(chunk, n - i));
+      }
+      break;
+    }
+    case PartitionPolicy::kBroadcast: {
+      for (size_t i = 0; i < n; i += chunk) {
+        const size_t len = std::min(chunk, n - i);
+        for (auto& shard : shards_) {
+          CopyChunkToShard(*shard, updates + i, len);
+        }
+      }
+      break;
+    }
+  }
+}
+
+void IngestEngine::SubmitStream(const Stream& stream) {
+  Submit(stream.updates().data(), stream.length());
+}
+
+void IngestEngine::Close() {
+  if (closed_) return;
+  closed_ = true;
+  for (auto& shard : shards_) {
+    if (shard->open != nullptr) {
+      if (shard->open->n > 0) {
+        shard->ring.Commit();
+        ++stats_.chunks_committed;
+      }
+      shard->open = nullptr;
+    }
+    shard->done.store(true, std::memory_order_release);
+  }
+  for (auto& shard : shards_) shard->worker.join();
+}
+
+}  // namespace gstream

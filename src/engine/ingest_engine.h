@@ -1,0 +1,165 @@
+// Multi-threaded sharded ingestion engine.
+//
+// The sketches in this library are linear: their state is a sum of
+// per-update contributions, and integer addition commutes.  Partitioning a
+// stream across N workers that own same-seed sketch replicas and summing
+// the replicas (MergeFrom) therefore reproduces the sequential sketch state
+// *bit for bit* -- sharding is exact, not approximate.  The engine turns
+// that observation into a subsystem: a producer thread calls Submit() with
+// runs of updates, the engine frames them into chunks of at most
+// `chunk_updates` (kStreamBatchSize by default, the same framing
+// Stream::ForEachBatch uses), routes each chunk to a worker according to
+// the partitioning policy, and each worker drains its fixed-capacity SPSC
+// ring straight into its sink's UpdateBatch kernel.  Close() flushes
+// partial chunks, joins the workers, and leaves the per-shard sinks ready
+// to merge.
+//
+// Partitioning policies:
+//   * kHashItem        -- shard = mix(item) % N: each shard sees a fixed
+//                         sub-domain, so per-shard sketches are sketches of
+//                         disjoint sub-vectors (useful when shards are also
+//                         queried individually).  Updates are scattered
+//                         into per-shard staging chunks.
+//   * kRoundRobinChunks-- whole chunks rotate across shards: perfectly
+//                         load-balanced regardless of item skew.
+//   * kBroadcast       -- every worker sees every chunk, in order: used to
+//                         run independent repetitions (e.g. the g-sum
+//                         estimator's medianed reps) concurrently; each
+//                         worker observes exactly the sequential chunk
+//                         sequence.
+// Merge-after-close is exact for the first two by linearity; under
+// kBroadcast each sink individually equals its sequential self.
+//
+// Backpressure: Submit() blocks (spin + yield) while a destination ring is
+// full, so memory stays bounded at shards * ring_chunks * 8 KiB; the stall
+// count is reported in stats().
+
+#ifndef GSTREAM_ENGINE_INGEST_ENGINE_H_
+#define GSTREAM_ENGINE_INGEST_ENGINE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "engine/spsc_ring.h"
+#include "stream/stream.h"
+
+namespace gstream {
+
+enum class PartitionPolicy {
+  kHashItem,
+  kRoundRobinChunks,
+  kBroadcast,
+};
+
+struct IngestEngineOptions {
+  // Worker threads, each owning one sink.
+  size_t shards = 4;
+  PartitionPolicy policy = PartitionPolicy::kRoundRobinChunks;
+  // Ring capacity per shard, in chunks (rounded up to a power of two).
+  size_t ring_chunks = 32;
+  // Updates per chunk; must be in [1, kStreamBatchSize].  Keeping the
+  // default preserves ForEachBatch framing, which makes kBroadcast feeds
+  // bit-identical to a sequential ProcessStream pass per sink.
+  size_t chunk_updates = kStreamBatchSize;
+};
+
+// One framed chunk as it crosses a ring: a fixed 8 KiB update array plus
+// its fill count.
+struct UpdateChunk {
+  uint32_t n = 0;
+  Update updates[kStreamBatchSize];
+};
+
+// Counters accumulated over an engine's lifetime; stable after Close().
+struct IngestStats {
+  uint64_t updates_submitted = 0;
+  uint64_t chunks_committed = 0;
+  // Times the producer found a destination ring full and had to wait --
+  // nonzero means the workers, not the feed, were the bottleneck.
+  uint64_t producer_stalls = 0;
+  // Updates routed to each shard (producer-side accounting).
+  std::vector<uint64_t> shard_updates;
+};
+
+// A shard's consumer: called once per drained chunk, on that shard's worker
+// thread only.  Typically [s](const Update* u, size_t n) {
+// s->UpdateBatch(u, n); } for a sketch replica `s`.
+using BatchSink = std::function<void(const Update*, size_t)>;
+
+// The engine proper.  Lifecycle: construct (workers start immediately) ->
+// Submit() any number of times from one producer thread -> Close() ->
+// inspect sinks / stats.  Sinks are owned by the caller and must outlive
+// the engine; ShardedIngestor (sharded_ingestor.h) packages the common
+// replicate-ingest-merge pattern on top.
+class IngestEngine {
+ public:
+  IngestEngine(const IngestEngineOptions& options,
+               std::vector<BatchSink> sinks);
+  ~IngestEngine();
+
+  IngestEngine(const IngestEngine&) = delete;
+  IngestEngine& operator=(const IngestEngine&) = delete;
+
+  // Routes `n` contiguous updates according to the partitioning policy.
+  // Single producer; blocks while destination rings are full.
+  void Submit(const Update* updates, size_t n);
+
+  // Convenience: submits the whole stream in arrival order.
+  void SubmitStream(const Stream& stream);
+
+  // Flushes partial staging chunks, signals end-of-stream, and joins the
+  // workers.  Idempotent; after Close() the sinks hold their final state.
+  void Close();
+
+  size_t shards() const { return shards_.size(); }
+  bool closed() const { return closed_; }
+
+  // Counters, all maintained producer-side as updates are routed: exact at
+  // any quiescent point between Submit calls, and final once Close() has
+  // returned.
+  const IngestStats& stats() const { return stats_; }
+
+  // The shard an item routes to under kHashItem with `n_shards` shards.
+  // Exposed so tests and callers can reason about sub-domain ownership.
+  static size_t ShardOfItem(ItemId item, size_t n_shards);
+
+ private:
+  struct Shard {
+    Shard(size_t index, size_t ring_chunks) : index(index), ring(ring_chunks) {}
+    const size_t index;  // position in shards_ / stats_.shard_updates
+    SpscRing<UpdateChunk> ring;
+    BatchSink sink;
+    std::thread worker;
+    // Producer-side: the reserved-but-uncommitted slot being filled (hash
+    // scatter).  Hot under kHashItem (touched per update), so the
+    // worker-polled `done` flag below gets its own cache line -- an idle
+    // worker spinning on it must not ping-pong the producer's line.
+    UpdateChunk* open = nullptr;
+    alignas(64) std::atomic<bool> done{false};
+  };
+
+  // Blocks until shard `s` has a free slot; counts stalls.
+  UpdateChunk* ReserveSpin(Shard& s);
+  // Appends one update to the shard's open staging chunk, committing when
+  // the chunk fills.
+  void AppendToShard(Shard& s, const Update& u);
+  // Copies one pre-framed chunk into the shard's ring.
+  void CopyChunkToShard(Shard& s, const Update* updates, size_t n);
+
+  static void WorkerLoop(Shard* shard);
+
+  IngestEngineOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t round_robin_next_ = 0;
+  IngestStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_ENGINE_INGEST_ENGINE_H_

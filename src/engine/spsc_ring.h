@@ -1,0 +1,94 @@
+// Single-producer / single-consumer ring buffer for the ingestion engine.
+//
+// The ring hands out slots in place: the producer reserves the next slot,
+// fills it, then commits (publishes) it; the consumer reads the front slot
+// directly from ring memory and pops it when done.  Chunks therefore cross
+// the thread boundary with exactly one copy (producer write), and the
+// consumer drains straight into the sketch kernels with no intermediate
+// buffer.
+//
+// Synchronization is the classic two-counter scheme: `tail_` counts commits
+// (written only by the producer), `head_` counts pops (written only by the
+// consumer).  Each side keeps a cached copy of the other's counter and only
+// re-reads the shared atomic when the cache says the ring looks full/empty,
+// so in steady state the hot path touches no contended cache line.  All
+// publishes use release stores matched by acquire loads on the other side;
+// capacity is a power of two so positions wrap with a mask.
+
+#ifndef GSTREAM_ENGINE_SPSC_RING_H_
+#define GSTREAM_ENGINE_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bit.h"
+#include "util/logging.h"
+
+namespace gstream {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to the next power of two, minimum 2 slots.
+  explicit SpscRing(size_t capacity)
+      : slots_(NextPow2(capacity < 2 ? 2 : capacity)),
+        mask_(slots_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  // Producer: returns the next free slot, or nullptr if the ring is full.
+  // The slot stays invisible to the consumer until Commit().  At most one
+  // slot may be held reserved at a time.
+  T* TryReserve() {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= slots_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= slots_.size()) return nullptr;
+    }
+    return &slots_[tail & mask_];
+  }
+
+  // Producer: publishes the slot last returned by TryReserve().
+  void Commit() {
+    tail_.store(tail_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  // Consumer: returns the oldest committed slot, or nullptr if the ring is
+  // empty.  The slot remains owned by the consumer until Pop().
+  T* Front() {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return nullptr;
+    }
+    return &slots_[head & mask_];
+  }
+
+  // Consumer: releases the slot last returned by Front().
+  void Pop() {
+    head_.store(head_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+ private:
+  std::vector<T> slots_;
+  const uint64_t mask_;
+  // Producer-owned line: commit counter plus the producer's cached view of
+  // the consumer's progress.  alignas keeps the two sides off each other's
+  // cache lines (no false sharing on the counters).
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  uint64_t cached_head_ = 0;
+  // Consumer-owned line.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  uint64_t cached_tail_ = 0;
+};
+
+}  // namespace gstream
+
+#endif  // GSTREAM_ENGINE_SPSC_RING_H_

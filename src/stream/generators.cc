@@ -49,6 +49,17 @@ Workload MakeStreamFromFrequencies(uint64_t domain, const FrequencyMap& freq,
                                    const StreamShapeOptions& options,
                                    Rng& rng) {
   std::vector<Update> updates;
+  // Pre-size the update vector: with unit_updates every frequency expands
+  // into |value| entries, so growing the vector incrementally would
+  // reallocate log(total) times over what can be millions of updates.
+  size_t total = 2 * options.churn_pairs;
+  for (const auto& [item, value] : freq) {
+    if (value == 0) continue;
+    total += options.unit_updates
+                 ? static_cast<size_t>(value > 0 ? value : -value)
+                 : 1;
+  }
+  updates.reserve(total);
   for (const auto& [item, value] : freq) {
     GSTREAM_CHECK_LT(item, domain);
     if (value == 0) continue;
@@ -72,6 +83,7 @@ Workload MakeStreamFromFrequencies(uint64_t domain, const FrequencyMap& freq,
     ShuffleUpdates(updates, rng);
   }
   Workload w{Stream(domain), freq};
+  w.stream.Reserve(updates.size());
   for (const Update& u : updates) w.stream.Append(u.item, u.delta);
   // Drop zero entries so `frequencies` matches ExactFrequencies().
   for (auto it = w.frequencies.begin(); it != w.frequencies.end();) {

@@ -17,6 +17,13 @@ void Stream::Append(ItemId item, int64_t delta) {
 
 void Stream::AppendStream(const Stream& other) {
   GSTREAM_CHECK_EQ(domain_, other.domain_);
+  // Make geometric growth explicit rather than relying on the stdlib's
+  // insert growth policy; never reserve an exact fit smaller than double
+  // the current size, which would make a loop of appends quadratic.
+  const size_t needed = updates_.size() + other.updates_.size();
+  if (needed > updates_.capacity()) {
+    updates_.reserve(std::max(needed, 2 * updates_.size()));
+  }
   updates_.insert(updates_.end(), other.updates_.begin(),
                   other.updates_.end());
 }

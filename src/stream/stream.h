@@ -46,6 +46,11 @@ class Stream {
   // Appends one update; `item` must lie in [0, domain).
   void Append(ItemId item, int64_t delta);
 
+  // Pre-allocates capacity for `n` total updates; generators and ingestion
+  // feeds that know the stream length up front call this to avoid
+  // reallocation churn while appending.
+  void Reserve(size_t n) { updates_.reserve(n); }
+
   // Appends all updates of `other` (domains must agree).  Models protocol
   // concatenation, e.g. Alice's stream followed by Bob's.
   void AppendStream(const Stream& other);

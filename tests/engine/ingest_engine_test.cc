@@ -1,0 +1,354 @@
+// Determinism of the sharded ingestion engine: for every partitioning
+// policy and shard count, sharded ingestion followed by the fingerprint-
+// guarded merge must leave the sketch state *bit-identical* to a
+// sequential UpdateBatch pass -- the engine-level extension of the pinning
+// discipline in tests/sketch/batch_equivalence_test.cc.  Linearity over
+// int64 counters makes this exact, not approximate, so any drift here is a
+// real bug (lost chunk, double delivery, racy merge).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/gsum.h"
+#include "engine/ingest_engine.h"
+#include "engine/sharded_ingestor.h"
+#include "gfunc/catalog.h"
+#include "sketch/ams.h"
+#include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
+#include "sketch/linear_sketch.h"
+#include "stream/generators.h"
+
+namespace gstream {
+namespace {
+
+constexpr uint64_t kSeed = 0x5eed;
+
+// A turnstile stream whose length is deliberately not a multiple of the
+// chunk size, so the final partial chunk is exercised.
+Stream MakeTurnstileStream(uint64_t seed, size_t churn_pairs = 700) {
+  Rng rng(seed);
+  StreamShapeOptions shape;
+  shape.churn_pairs = churn_pairs;
+  return MakeZipfWorkload(1 << 12, 900, 1.1, 4000, shape, rng).stream;
+}
+
+// Submits `stream` in irregular run lengths (1, 3, 7, ... then the tail) so
+// framing sees every boundary case, not just whole-stream submission.
+template <typename IngestorT>
+void SubmitIrregular(IngestorT& ingest, const Stream& stream) {
+  const std::vector<Update>& ups = stream.updates();
+  size_t run = 1;
+  size_t consumed = 0;
+  while (consumed < ups.size()) {
+    const size_t n = std::min(run, ups.size() - consumed);
+    ingest.Submit(ups.data() + consumed, n);
+    consumed += n;
+    run = run * 2 + 1;
+  }
+  ingest.Submit(ups.data(), 0);  // empty submit is a no-op
+}
+
+const std::vector<PartitionPolicy> kMergePolicies = {
+    PartitionPolicy::kHashItem, PartitionPolicy::kRoundRobinChunks};
+const std::vector<size_t> kShardCounts = {1, 2, 3, 4, 8};
+
+TEST(IngestEngineTest, CountSketchShardedBitIdenticalToSequential) {
+  const Stream stream = MakeTurnstileStream(201);
+  Rng seq_rng(kSeed);
+  CountSketch sequential(CountSketchOptions{5, 256}, seq_rng);
+  ProcessStream(sequential, stream);
+
+  for (const PartitionPolicy policy : kMergePolicies) {
+    for (const size_t shards : kShardCounts) {
+      IngestEngineOptions options;
+      options.policy = policy;
+      ShardedIngestor<CountSketch> ingest(options, [](size_t) {
+        Rng rng(kSeed);
+        return CountSketch(CountSketchOptions{5, 256}, rng);
+      });
+      ingest.Open(shards);
+      SubmitIrregular(ingest, stream);
+      const CountSketch& merged = ingest.Close();
+      EXPECT_EQ(merged.counters(), sequential.counters())
+          << "policy=" << static_cast<int>(policy) << " shards=" << shards;
+    }
+  }
+}
+
+TEST(IngestEngineTest, CountMinShardedBitIdenticalToSequential) {
+  const Stream stream = MakeTurnstileStream(202);
+  Rng seq_rng(kSeed);
+  CountMinSketch sequential(CountMinOptions{5, 256}, seq_rng);
+  ProcessStream(sequential, stream);
+
+  for (const PartitionPolicy policy : kMergePolicies) {
+    for (const size_t shards : kShardCounts) {
+      IngestEngineOptions options;
+      options.policy = policy;
+      ShardedIngestor<CountMinSketch> ingest(options, [](size_t) {
+        Rng rng(kSeed);
+        return CountMinSketch(CountMinOptions{5, 256}, rng);
+      });
+      ingest.Open(shards);
+      SubmitIrregular(ingest, stream);
+      EXPECT_EQ(ingest.Close().counters(), sequential.counters())
+          << "policy=" << static_cast<int>(policy) << " shards=" << shards;
+    }
+  }
+}
+
+TEST(IngestEngineTest, AmsShardedBitIdenticalToSequential) {
+  const Stream stream = MakeTurnstileStream(203);
+  Rng seq_rng(kSeed);
+  AmsSketch sequential(AmsOptions{16, 5}, seq_rng);
+  ProcessStream(sequential, stream);
+
+  for (const PartitionPolicy policy : kMergePolicies) {
+    for (const size_t shards : kShardCounts) {
+      IngestEngineOptions options;
+      options.policy = policy;
+      ShardedIngestor<AmsSketch> ingest(options, [](size_t) {
+        Rng rng(kSeed);
+        return AmsSketch(AmsOptions{16, 5}, rng);
+      });
+      ingest.Open(shards);
+      SubmitIrregular(ingest, stream);
+      EXPECT_EQ(ingest.Close().sums(), sequential.sums())
+          << "policy=" << static_cast<int>(policy) << " shards=" << shards;
+    }
+  }
+}
+
+TEST(IngestEngineTest, ProcessStreamShardedMatchesProcessStream) {
+  const Stream stream = MakeTurnstileStream(204);
+  Rng seq_rng(kSeed);
+  CountSketch sequential(CountSketchOptions{5, 512}, seq_rng);
+  ProcessStream(sequential, stream);
+
+  IngestEngineOptions options;
+  options.shards = 4;
+  const CountSketch merged =
+      ProcessStreamSharded(stream, options, [](size_t) {
+        Rng rng(kSeed);
+        return CountSketch(CountSketchOptions{5, 512}, rng);
+      });
+  EXPECT_EQ(merged.counters(), sequential.counters());
+}
+
+TEST(IngestEngineTest, HashPolicyGivesEachShardASubDomain) {
+  // Under kHashItem a shard's sink must receive exactly the updates of the
+  // items ShardOfItem assigns it -- no leakage across sub-domains.  Record
+  // what each shard actually sees through a raw engine and check every
+  // delivered update against the routing function, and that the shards
+  // together deliver the exact multiset of stream updates (here: all of
+  // each item's deltas, to its owner shard only).
+  const Stream stream = MakeTurnstileStream(205);
+  constexpr size_t kShards = 4;
+  std::vector<FrequencyMap> seen(kShards);
+  std::vector<uint64_t> delivered(kShards, 0);
+  std::vector<BatchSink> sinks;
+  for (size_t s = 0; s < kShards; ++s) {
+    sinks.push_back([&, s](const Update* ups, size_t n) {
+      for (size_t i = 0; i < n; ++i) {
+        seen[s][ups[i].item] += ups[i].delta;
+        ++delivered[s];
+      }
+    });
+  }
+  IngestEngineOptions options;
+  options.shards = kShards;
+  options.policy = PartitionPolicy::kHashItem;
+  IngestEngine engine(options, std::move(sinks));
+  engine.SubmitStream(stream);
+  // Producer-side stats are exact between Submit calls, before Close.
+  uint64_t routed_mid_stream = 0;
+  for (const uint64_t u : engine.stats().shard_updates) routed_mid_stream += u;
+  EXPECT_EQ(routed_mid_stream, stream.length());
+  engine.Close();
+
+  uint64_t total_delivered = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    total_delivered += delivered[s];
+    for (const auto& [item, net] : seen[s]) {
+      EXPECT_EQ(IngestEngine::ShardOfItem(item, kShards), s)
+          << "item " << item << " leaked into shard " << s;
+    }
+    EXPECT_EQ(delivered[s], engine.stats().shard_updates[s]);
+  }
+  EXPECT_EQ(total_delivered, stream.length());
+  // Each owner shard saw its items' full net frequency.
+  const FrequencyMap exact = ExactFrequencies(stream);
+  for (const auto& [item, net] : exact) {
+    const size_t owner = IngestEngine::ShardOfItem(item, kShards);
+    auto it = seen[owner].find(item);
+    ASSERT_NE(it, seen[owner].end());
+    EXPECT_EQ(it->second, net);
+  }
+}
+
+TEST(IngestEngineTest, RoundRobinBalancesUpdatesAcrossShards) {
+  const Stream stream = MakeTurnstileStream(206);
+  IngestEngineOptions options;
+  options.policy = PartitionPolicy::kRoundRobinChunks;
+  ShardedIngestor<CountSketch> ingest(options, [](size_t) {
+    Rng rng(kSeed);
+    return CountSketch(CountSketchOptions{5, 256}, rng);
+  });
+  ingest.Open(4);
+  ingest.SubmitStream(stream);  // whole-stream submit => full chunks
+  ingest.Close();
+
+  const IngestStats& stats = ingest.stats();
+  uint64_t lo = stats.shard_updates[0], hi = stats.shard_updates[0];
+  for (const uint64_t u : stats.shard_updates) {
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  // Whole-stream submission differs by at most one chunk per shard.
+  EXPECT_LE(hi - lo, kStreamBatchSize);
+  EXPECT_EQ(stats.updates_submitted, stream.length());
+  EXPECT_GE(stats.chunks_committed,
+            stream.length() / kStreamBatchSize);
+}
+
+TEST(IngestEngineTest, BroadcastFeedsEverySinkTheSequentialChunkSequence) {
+  // Three raw-engine sinks record what they see; each must observe exactly
+  // the ForEachBatch(kStreamBatchSize) chunk sequence.
+  const Stream stream = MakeTurnstileStream(207);
+  std::vector<std::vector<Update>> seen(3);
+  std::vector<BatchSink> sinks;
+  for (auto& log : seen) {
+    sinks.push_back([&log](const Update* ups, size_t n) {
+      log.insert(log.end(), ups, ups + n);
+    });
+  }
+  IngestEngineOptions options;
+  options.shards = 3;
+  options.policy = PartitionPolicy::kBroadcast;
+  IngestEngine engine(options, std::move(sinks));
+  engine.SubmitStream(stream);
+  engine.Close();
+  for (const auto& log : seen) {
+    ASSERT_EQ(log.size(), stream.length());
+    for (size_t i = 0; i < log.size(); ++i) {
+      ASSERT_EQ(log[i].item, stream.updates()[i].item);
+      ASSERT_EQ(log[i].delta, stream.updates()[i].delta);
+    }
+  }
+}
+
+TEST(IngestEngineTest, BackpressureBoundsMemoryAndLosesNothing) {
+  // A tiny ring with a deliberately slow consumer forces producer stalls;
+  // every update must still arrive exactly once.
+  const Stream stream = MakeTurnstileStream(208);
+  uint64_t delivered = 0;
+  std::vector<BatchSink> sinks;
+  sinks.push_back(
+      [&delivered](const Update* /*ups*/, size_t n) { delivered += n; });
+  IngestEngineOptions options;
+  options.shards = 1;
+  options.ring_chunks = 2;  // minimum ring: back-to-back chunks collide
+  options.chunk_updates = 16;
+  IngestEngine engine(options, std::move(sinks));
+  engine.SubmitStream(stream);
+  engine.Close();
+  EXPECT_EQ(delivered, stream.length());
+  EXPECT_EQ(engine.stats().updates_submitted, stream.length());
+}
+
+TEST(IngestEngineTest, CloseIsIdempotentAndFlushesPartialChunks) {
+  Rng seq_rng(kSeed);
+  CountSketch sequential(CountSketchOptions{3, 64}, seq_rng);
+  Stream tiny(1 << 8);
+  for (int i = 0; i < 7; ++i) tiny.Append(static_cast<ItemId>(i), i + 1);
+  ProcessStream(sequential, tiny);
+
+  IngestEngineOptions options;
+  options.policy = PartitionPolicy::kHashItem;  // staging chunks stay open
+  ShardedIngestor<CountSketch> ingest(options, [](size_t) {
+    Rng rng(kSeed);
+    return CountSketch(CountSketchOptions{3, 64}, rng);
+  });
+  ingest.Open(3);
+  ingest.SubmitStream(tiny);
+  const CountSketch& merged = ingest.Close();
+  EXPECT_EQ(merged.counters(), sequential.counters());
+  EXPECT_EQ(ingest.Close().counters(), sequential.counters());  // idempotent
+}
+
+TEST(IngestEngineTest, DrainAllowsPerShardQueriesBeforeMerge) {
+  // Drain() joins the workers without merging: the replicas then hold
+  // exactly the per-shard partition of the sequential state (their
+  // counter-wise sum), and a subsequent Close() still merges correctly.
+  const Stream stream = MakeTurnstileStream(210);
+  Rng seq_rng(kSeed);
+  CountSketch sequential(CountSketchOptions{5, 256}, seq_rng);
+  ProcessStream(sequential, stream);
+
+  IngestEngineOptions options;
+  options.policy = PartitionPolicy::kHashItem;
+  ShardedIngestor<CountSketch> ingest(options, [](size_t) {
+    Rng rng(kSeed);
+    return CountSketch(CountSketchOptions{5, 256}, rng);
+  });
+  ingest.Open(3);
+  ingest.SubmitStream(stream);
+  ingest.Drain();
+
+  std::vector<int64_t> summed(sequential.counters().size(), 0);
+  for (CountSketch& replica : ingest.replicas()) {
+    for (size_t i = 0; i < summed.size(); ++i) {
+      summed[i] += replica.counters()[i];
+    }
+  }
+  EXPECT_EQ(summed, sequential.counters());
+  EXPECT_EQ(ingest.Close().counters(), sequential.counters());
+}
+
+TEST(IngestEngineTest, GSumParallelIngestMatchesSequentialProcess) {
+  // End-to-end wiring: Process() with parallel_ingest runs every
+  // repetition on its own worker with the sequential chunk framing, so the
+  // estimate is bit-identical to the single-threaded batched run.
+  const Stream stream = MakeTurnstileStream(209);
+  GSumOptions options;
+  options.passes = 1;
+  options.cs_buckets = 256;
+  options.candidates = 32;
+  options.repetitions = 3;
+  GSumEstimator sequential(MakePower(2.0), 1 << 12, options);
+  const double seq = sequential.Process(stream);
+
+  options.parallel_ingest = true;
+  GSumEstimator parallel(MakePower(2.0), 1 << 12, options);
+  const double par = parallel.Process(stream);
+  EXPECT_DOUBLE_EQ(seq, par);
+  EXPECT_EQ(sequential.SpaceBytes(), parallel.SpaceBytes());
+}
+
+TEST(IngestEngineDeathTest, MergeOfDifferentSeedReplicasTripsFingerprint) {
+  // A factory that (incorrectly) seeds each shard differently builds
+  // replicas with different hash functions; the Close()-time merge must
+  // die on the fingerprint guard instead of silently summing mismatched
+  // counters.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        IngestEngineOptions options;
+        ShardedIngestor<CountSketch> ingest(options, [](size_t shard) {
+          Rng rng(kSeed + shard);  // WRONG: per-shard seeds
+          return CountSketch(CountSketchOptions{3, 64}, rng);
+        });
+        ingest.Open(2);
+        Stream tiny(16);
+        tiny.Append(1, 1);
+        tiny.Append(2, 1);
+        ingest.SubmitStream(tiny);
+        ingest.Close();
+      },
+      "GSTREAM_CHECK");
+}
+
+}  // namespace
+}  // namespace gstream

@@ -7,9 +7,11 @@
 //     so future PRs always compare against the original baseline;
 //   * single      -- the current Update() path (SoA banks + fastrange);
 //   * batched     -- UpdateBatch() driven by Stream::ForEachBatch.
-// plus the end-to-end one-pass g-sum pipeline (single vs batched) and, for
-// CountSketch, the sharded ingestion engine at 1/2/4/8 worker threads
-// (round-robin chunks; `sharded4_hash` uses hash-by-item) -- the
+// plus the end-to-end one-pass g-sum pipeline (single vs batched), the
+// one-pass heavy hitter sequential vs engine-fed (`one_pass_hh/batched`
+// vs `one_pass_hh/sharded{1,4}`, exercising the candidate-union merge),
+// and, for CountSketch, the sharded ingestion engine at 1/2/4/8 worker
+// threads (round-robin chunks; `sharded4_hash` uses hash-by-item) -- the
 // Open -> Submit -> Close -> merge lifecycle of src/engine/.
 //
 // Run via the `bench` CMake target or bench/run_all.sh; flags:
@@ -27,6 +29,7 @@
 #include "bench/harness.h"
 #include "core/gnp_sketch.h"
 #include "core/gsum.h"
+#include "core/one_pass_hh.h"
 #include "engine/sharded_ingestor.h"
 #include "gfunc/catalog.h"
 #include "sketch/ams.h"
@@ -361,6 +364,32 @@ int Run(int argc, char** argv) {
     return DriveBatched(gnp, gnp_stream);
   }));
 
+  // One-pass heavy hitter (CountSketchTopK tracker + AMS), sequential
+  // batched vs engine-fed: sharded1 bounds the engine overhead for a
+  // tracker-bearing consumer (candidate-union merge at close), sharded4
+  // shows the scaling on multi-core hosts.  Same stream prefix as g-sum.
+  OnePassHHOptions hh_options;
+  hh_options.count_sketch = CountSketchOptions{5, 1024};
+  hh_options.ams = AmsOptions{16, 5};
+  hh_options.candidates = 48;
+  report.Add(Measure("one_pass_hh/batched", gsum_stream.length(), repeats,
+                     [&] {
+                       const OnePassHeavyHitter hh =
+                           ProcessOnePassHH(hh_options, 5, gsum_stream);
+                       return hh.SpaceBytes();
+                     }));
+  for (const size_t shards : {size_t{1}, size_t{4}}) {
+    report.Add(Measure("one_pass_hh/sharded" + std::to_string(shards),
+                       gsum_stream.length(), repeats, [&, shards] {
+                         OnePassHHOptions sharded = hh_options;
+                         sharded.parallel_ingest = true;
+                         sharded.ingest_shards = shards;
+                         const OnePassHeavyHitter hh =
+                             ProcessOnePassHH(sharded, 5, gsum_stream);
+                         return hh.SpaceBytes();
+                       }));
+  }
+
   // End-to-end one-pass g-sum pipeline (3 repetitions of the recursive
   // sketch over CountSketchTopK + AMS per level).
   GSumOptions gsum_options;
@@ -402,6 +431,10 @@ int Run(int argc, char** argv) {
   report.AddSpeedup("ams_batched_vs_seed", "ams/batched", "ams/seed_single");
   report.AddSpeedup("gnp_batched_vs_single", "gnp/batched", "gnp/single");
   report.AddSpeedup("gsum_batched_vs_single", "gsum/batched", "gsum/single");
+  report.AddSpeedup("one_pass_hh_sharded1_vs_batched", "one_pass_hh/sharded1",
+                    "one_pass_hh/batched");
+  report.AddSpeedup("one_pass_hh_sharded4_vs_batched", "one_pass_hh/sharded4",
+                    "one_pass_hh/batched");
 
   report.PrintTable(stdout);
   if (!report.WriteJson(out_path)) return 1;

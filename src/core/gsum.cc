@@ -92,9 +92,6 @@ double GSumEstimator::Process(const Stream& stream) {
       // full stream in the same kStreamBatchSize framing ForEachBatch
       // would produce, so each repetition's state is bit-identical to the
       // sequential batched pass.
-      IngestEngineOptions engine_options;
-      engine_options.shards = reps_.size();
-      engine_options.policy = PartitionPolicy::kBroadcast;
       std::vector<BatchSink> sinks;
       sinks.reserve(reps_.size());
       for (RecursiveGSum& rep : reps_) {
@@ -102,9 +99,7 @@ double GSumEstimator::Process(const Stream& stream) {
           rep.UpdateBatch(ups, n);
         });
       }
-      IngestEngine engine(engine_options, std::move(sinks));
-      engine.SubmitStream(stream);
-      engine.Close();
+      BroadcastStream(stream, std::move(sinks));
       return;
     }
     stream.ForEachBatch(kStreamBatchSize,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "engine/sharded_ingestor.h"
 #include "util/logging.h"
 
 namespace gstream {
@@ -29,6 +30,30 @@ void OnePassHeavyHitter::UpdateBatch(const struct Update* updates, size_t n) {
 
 void OnePassHeavyHitter::AdvancePass() {
   GSTREAM_CHECK(false);  // single-pass algorithm
+}
+
+void OnePassHeavyHitter::MergeFrom(const OnePassHeavyHitter& other) {
+  tracker_.MergeFrom(other.tracker_);
+  ams_.MergeFrom(other.ams_);
+}
+
+OnePassHeavyHitter ProcessOnePassHH(const OnePassHHOptions& options,
+                                    uint64_t seed, const Stream& stream) {
+  if (!options.parallel_ingest) {
+    Rng rng(seed);
+    OnePassHeavyHitter hh(options, rng);
+    ProcessStream(hh, stream);
+    return hh;
+  }
+  IngestEngineOptions engine_options;
+  engine_options.shards = options.ingest_shards;
+  engine_options.policy = options.ingest_policy;
+  return ProcessStreamSharded(stream, engine_options,
+                              [&options, seed](size_t /*shard*/) {
+                                // Same seed per shard => shared hashes.
+                                Rng rng(seed);
+                                return OnePassHeavyHitter(options, rng);
+                              });
 }
 
 int64_t OnePassHeavyHitter::PruningRadius() const {

@@ -22,6 +22,7 @@
 #define GSTREAM_CORE_ONE_PASS_HH_H_
 
 #include "core/heavy_hitters.h"
+#include "engine/ingest_engine.h"
 #include "sketch/ams.h"
 #include "sketch/count_sketch.h"
 
@@ -39,6 +40,14 @@ struct OnePassHHOptions {
   double h_envelope = 1.0;
   // Probe magnitudes per sign used to approximate "for all |y| <= E".
   size_t probe_points = 24;
+  // Mirrors GSumOptions::parallel_ingest: when true, ProcessOnePassHH
+  // shards the stream across `ingest_shards` same-seed replicas through
+  // the ingestion engine and merges at close (tracker candidate-union
+  // merge + AMS sum merge).  The merged linear state is bit-identical to
+  // the sequential batched pass for any policy and shard count.
+  bool parallel_ingest = false;
+  size_t ingest_shards = 4;
+  PartitionPolicy ingest_policy = PartitionPolicy::kRoundRobinChunks;
 };
 
 class OnePassHeavyHitter : public GHeavyHitterSketch {
@@ -52,8 +61,19 @@ class OnePassHeavyHitter : public GHeavyHitterSketch {
   GCover Cover(const GFunction& g) const override;
   size_t SpaceBytes() const override;
 
+  // Merges a same-seed replica that processed a disjoint shard of the
+  // stream: candidate-union merge on the tracker (CountSketchTopK::
+  // MergeFrom) plus the AMS sum merge.  Both components fingerprint-guard
+  // the shared-hash requirement.
+  void MergeFrom(const OnePassHeavyHitter& other);
+
   // The pruning interval E derived from the current F2 estimate.
   int64_t PruningRadius() const;
+
+  // Component state, exposed so the engine equivalence tests can pin the
+  // merged linear state bit-exactly against a sequential pass.
+  const CountSketchTopK& tracker() const { return tracker_; }
+  const AmsSketch& ams() const { return ams_; }
 
   // Exposed for tests: whether the estimate v-hat would survive pruning
   // under `g` with radius E.
@@ -65,6 +85,15 @@ class OnePassHeavyHitter : public GHeavyHitterSketch {
   CountSketchTopK tracker_;
   AmsSketch ams_;
 };
+
+// Runs the full one-pass algorithm over `stream` on a fresh sketch whose
+// randomness derives from Rng(seed), and returns it ready to decode.
+// Sequential batched pass by default; with options.parallel_ingest the
+// stream is fanned across options.ingest_shards same-seed replicas via
+// ShardedIngestor and merged at close.  The returned linear state
+// (tracker counters, AMS sums) is bit-identical either way.
+OnePassHeavyHitter ProcessOnePassHH(const OnePassHHOptions& options,
+                                    uint64_t seed, const Stream& stream);
 
 }  // namespace gstream
 

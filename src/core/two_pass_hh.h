@@ -12,13 +12,20 @@
 // then every (g, lambda)-heavy hitter is (lambda / H(M))-heavy for F2, and
 // at most H(M)/lambda items can be at least as large, so tracking
 // `candidates` = O(H(M)/lambda) ids suffices.
+//
+// The pass-2 tabulation is a frozen sorted candidate array with a parallel
+// count array: updates bind to a slot by branch-poor binary search (no
+// hashing), the batched kernel amortizes the search over runs of equal
+// items, and the (ids, counts) pair is a trivially mergeable linear state
+// -- which is what lets pass 2 ride the sharded ingestion engine.
 
 #ifndef GSTREAM_CORE_TWO_PASS_HH_H_
 #define GSTREAM_CORE_TWO_PASS_HH_H_
 
-#include <unordered_map>
+#include <vector>
 
 #include "core/heavy_hitters.h"
+#include "engine/ingest_engine.h"
 #include "sketch/count_sketch.h"
 
 namespace gstream {
@@ -28,6 +35,14 @@ struct TwoPassHHOptions {
   // Number of candidate ids carried into the second pass
   // (2 H(M) / lambda in the paper's parameterization).
   size_t candidates = 64;
+  // Mirrors GSumOptions::parallel_ingest: when true, ProcessTwoPassHH runs
+  // *both* passes through the sharded ingestion engine -- pass 1 across
+  // same-seed replicas merged via the tracker's candidate-union merge,
+  // pass 2 across copies of the frozen candidate table whose exact counts
+  // sum at close.  Pass-2 tabulation is exact either way.
+  bool parallel_ingest = false;
+  size_t ingest_shards = 4;
+  PartitionPolicy ingest_policy = PartitionPolicy::kRoundRobinChunks;
 };
 
 class TwoPassHeavyHitter : public GHeavyHitterSketch {
@@ -41,13 +56,37 @@ class TwoPassHeavyHitter : public GHeavyHitterSketch {
   GCover Cover(const GFunction& g) const override;
   size_t SpaceBytes() const override;
 
+  // Merges a same-pass replica that processed a disjoint shard of the
+  // current pass's stream.  In pass 1 this is the tracker candidate-union
+  // merge (fingerprint-guarded).  In pass 2 both replicas must hold the
+  // identical frozen candidate list (checked); the exact counts sum, and
+  // the pass-1 tracker -- frozen, no longer part of the decode -- is left
+  // untouched so replicated trackers are not double-counted.
+  void MergeFrom(const TwoPassHeavyHitter& other);
+
+  // Pass-1 state, exposed so engine equivalence tests can pin the merged
+  // counters bit-exactly against a sequential pass.
+  const CountSketchTopK& tracker() const { return tracker_; }
+
+  // The frozen candidate ids (ascending); empty before AdvancePass.
+  const std::vector<ItemId>& candidate_ids() const { return candidate_ids_; }
+
  private:
   TwoPassHHOptions options_;
   int current_pass_ = 1;
   CountSketchTopK tracker_;
-  // Exact counters for the pass-2 candidates.
-  std::unordered_map<ItemId, int64_t> exact_counts_;
+  // Pass-2 tabulation: frozen candidate ids (sorted ascending) and their
+  // exact counts, index-aligned.
+  std::vector<ItemId> candidate_ids_;
+  std::vector<int64_t> exact_counts_;
 };
+
+// Runs both passes over `stream` on a fresh sketch whose randomness derives
+// from Rng(seed), and returns it ready to decode.  Sequential batched
+// passes by default; with options.parallel_ingest each pass is sharded
+// through the ingestion engine as described on TwoPassHHOptions.
+TwoPassHeavyHitter ProcessTwoPassHH(const TwoPassHHOptions& options,
+                                    uint64_t seed, const Stream& stream);
 
 }  // namespace gstream
 

@@ -152,4 +152,13 @@ void IngestEngine::Close() {
   for (auto& shard : shards_) shard->worker.join();
 }
 
+void BroadcastStream(const Stream& stream, std::vector<BatchSink> sinks) {
+  IngestEngineOptions options;
+  options.shards = sinks.size();
+  options.policy = PartitionPolicy::kBroadcast;
+  IngestEngine engine(options, std::move(sinks));
+  engine.SubmitStream(stream);
+  engine.Close();
+}
+
 }  // namespace gstream

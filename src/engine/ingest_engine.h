@@ -160,6 +160,14 @@ class IngestEngine {
   bool closed_ = false;
 };
 
+// Runs every sink over the full stream concurrently (one worker per sink,
+// kBroadcast): each sink observes exactly the kStreamBatchSize chunk
+// sequence a sequential ProcessStream pass would feed it, so linear sinks
+// end bit-identical to their sequential selves.  This is the
+// "independent repetitions in parallel" pattern (GSumOptions /
+// OnePassHHOptions / TwoPassHHOptions parallel_ingest).
+void BroadcastStream(const Stream& stream, std::vector<BatchSink> sinks);
+
 }  // namespace gstream
 
 #endif  // GSTREAM_ENGINE_INGEST_ENGINE_H_

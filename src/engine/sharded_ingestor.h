@@ -123,6 +123,17 @@ class ShardedIngestor {
   bool merged_ = false;
 };
 
+// A factory that replicates an existing prototype into every shard -- the
+// pass-2 pattern for multi-pass algorithms, where each shard must start
+// from the same frozen decode state (e.g. a two-pass heavy hitter's
+// candidate list after AdvancePass).  The prototype is captured by
+// reference and must outlive Open().
+template <typename SketchT>
+typename ShardedIngestor<SketchT>::Factory ReplicateFactory(
+    const SketchT& prototype) {
+  return [&prototype](size_t /*shard*/) { return prototype; };
+}
+
 // One-shot sharded pass over `stream`: the parallel counterpart of
 // ProcessStream.  Returns the merged sketch by value.
 template <typename Factory,

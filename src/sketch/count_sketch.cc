@@ -172,6 +172,14 @@ int64_t CountSketch::Estimate(ItemId item) const {
   return MedianInPlace(row_scratch_);
 }
 
+std::vector<int64_t> CountSketch::EstimateAll(
+    const std::vector<ItemId>& items) const {
+  std::vector<int64_t> estimates;
+  estimates.reserve(items.size());
+  for (const ItemId item : items) estimates.push_back(Estimate(item));
+  return estimates;
+}
+
 double CountSketch::EstimateF2() const {
   for (size_t j = 0; j < options_.rows; ++j) {
     double sum = 0.0;
@@ -217,6 +225,36 @@ void CountSketchTopK::UpdateBatch(const struct Update* updates, size_t n) {
   for (const ItemId item : touched_scratch_) Refresh(item);
 }
 
+void CountSketchTopK::MergeFrom(const CountSketchTopK& other) {
+  GSTREAM_CHECK_EQ(k_, other.k_);
+  // Sum the linear counter arrays first (geometry- and fingerprint-
+  // guarded); after this the inner sketch holds whole-stream counters.
+  sketch_.MergeFrom(other.sketch_);
+  // Union of the two candidate sets, deterministic order.
+  touched_scratch_.clear();
+  touched_scratch_.reserve(candidates_.size() + other.candidates_.size());
+  for (const auto& [item, est] : candidates_) touched_scratch_.push_back(item);
+  for (const auto& [item, est] : other.candidates_) {
+    touched_scratch_.push_back(item);
+  }
+  std::sort(touched_scratch_.begin(), touched_scratch_.end());
+  touched_scratch_.erase(
+      std::unique(touched_scratch_.begin(), touched_scratch_.end()),
+      touched_scratch_.end());
+  // Re-estimate every union member against the merged counters.  Stale
+  // per-shard estimates (computed against a shard's partial counters) are
+  // discarded wholesale: only whole-stream estimates may decide pruning.
+  const std::vector<int64_t> estimates = sketch_.EstimateAll(touched_scratch_);
+  candidates_.clear();
+  for (size_t i = 0; i < touched_scratch_.size(); ++i) {
+    candidates_[touched_scratch_[i]] = estimates[i];
+  }
+  // Re-prune to the k strongest (|estimate| desc, item id tiebreak) -- the
+  // same selection TopK() reports, so the retained set is exactly the top-k
+  // of the candidate union under merged estimates.
+  if (candidates_.size() > k_) Prune();
+}
+
 void CountSketchTopK::Refresh(ItemId item) {
   candidates_[item] = sketch_.Estimate(item);
   if (candidates_.size() <= 2 * k_) return;
@@ -255,6 +293,14 @@ std::vector<std::pair<ItemId, int64_t>> CountSketchTopK::TopK() const {
   });
   if (out.size() > k_) out.resize(k_);
   return out;
+}
+
+std::vector<ItemId> CountSketchTopK::CandidateItems() const {
+  std::vector<ItemId> items;
+  items.reserve(candidates_.size());
+  for (const auto& [item, est] : candidates_) items.push_back(item);
+  std::sort(items.begin(), items.end());
+  return items;
 }
 
 size_t CountSketchTopK::SpaceBytes() const {

@@ -66,6 +66,12 @@ class CountSketch : public LinearSketch {
   // Median-of-rows point estimate of v_item.
   int64_t Estimate(ItemId item) const;
 
+  // Point estimates for an explicit candidate list, in input order.
+  // Bit-identical to calling Estimate per item; this is the decode the
+  // candidate-union merge (CountSketchTopK::MergeFrom) and its property
+  // tests are pinned against.
+  std::vector<int64_t> EstimateAll(const std::vector<ItemId>& items) const;
+
   // Per-row F2 estimate (sum of squared counters is unbiased for F2);
   // returns the median across rows.  Coarser than a dedicated AMS sketch
   // but free given the structure.
@@ -123,10 +129,29 @@ class CountSketchTopK : public LinearSketch {
   // item's estimate once.
   void UpdateBatch(const struct Update* updates, size_t n) override;
 
+  // Merges another tracker that processed a disjoint shard of the stream.
+  // Both trackers must share k and hash functions (same-seed construction;
+  // fingerprint-guarded like CountSketch::MergeFrom).  The linear counter
+  // arrays are summed, the candidate sets are unioned, every union member
+  // is re-estimated against the merged counters via EstimateAll, and the
+  // set is re-pruned to the k strongest.  For this pairwise merge the
+  // result is exactly the top-k of the two inputs' candidate union under
+  // merged-counter estimates; a fold over >2 shards applies that rule per
+  // step (each intermediate prune sees prefix counters), so end-to-end
+  // recall rests on heavy items ranking top-k at every prefix -- see
+  // docs/engine.md for the full argument and tests/verify/ for the
+  // statistical pin.
+  void MergeFrom(const CountSketchTopK& other);
+
   // The current candidates, sorted by decreasing |estimate|.
   std::vector<std::pair<ItemId, int64_t>> TopK() const;
 
+  // The current candidate ids in ascending order (maintenance metadata;
+  // exposed so merge tests can form the candidate union independently).
+  std::vector<ItemId> CandidateItems() const;
+
   const CountSketch& sketch() const { return sketch_; }
+  size_t k() const { return k_; }
 
   size_t SpaceBytes() const override;
 

@@ -6,6 +6,34 @@
 
 namespace gstream {
 
+void ExactFrequencySketch::UpdateBatch(const struct Update* updates,
+                                       size_t n) {
+  if (n == 0) return;
+  ItemId run_item = updates[0].item;
+  int64_t* run_slot = &freq_[run_item];
+  *run_slot += updates[0].delta;
+  for (size_t i = 1; i < n; ++i) {
+    if (updates[i].item != run_item) {
+      run_item = updates[i].item;
+      run_slot = &freq_[run_item];
+    }
+    *run_slot += updates[i].delta;
+  }
+}
+
+void ExactFrequencySketch::MergeFrom(const ExactFrequencySketch& other) {
+  for (const auto& [item, value] : other.freq_) freq_[item] += value;
+}
+
+FrequencyMap ExactFrequencySketch::Frequencies() const {
+  FrequencyMap out;
+  out.reserve(freq_.size());
+  for (const auto& [item, value] : freq_) {
+    if (value != 0) out.emplace(item, value);
+  }
+  return out;
+}
+
 double ExactGSum(const FrequencyMap& freq, const GCallable& g) {
   double sum = 0.0;
   for (const auto& [item, value] : freq) {

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "stream/exact.h"
 #include "util/logging.h"
 
 namespace gstream {
@@ -47,18 +48,11 @@ int64_t Stream::MaxPrefixFrequency() const {
 }
 
 FrequencyMap ExactFrequencies(const Stream& stream) {
-  FrequencyMap freq;
-  for (const Update& u : stream.updates()) {
-    freq[u.item] += u.delta;
-  }
-  for (auto it = freq.begin(); it != freq.end();) {
-    if (it->second == 0) {
-      it = freq.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  return freq;
+  // One batched pass through the mergeable exact sketch -- the ground-truth
+  // baseline rides the same hot path the approximate sketches use.
+  ExactFrequencySketch sketch;
+  ProcessStream(sketch, stream);
+  return sketch.Frequencies();
 }
 
 }  // namespace gstream

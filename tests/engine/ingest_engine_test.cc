@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "core/gsum.h"
+#include "core/one_pass_hh.h"
+#include "core/two_pass_hh.h"
 #include "engine/ingest_engine.h"
 #include "engine/sharded_ingestor.h"
 #include "gfunc/catalog.h"
@@ -18,6 +20,7 @@
 #include "sketch/count_min.h"
 #include "sketch/count_sketch.h"
 #include "sketch/linear_sketch.h"
+#include "stream/exact.h"
 #include "stream/generators.h"
 
 namespace gstream {
@@ -325,6 +328,133 @@ TEST(IngestEngineTest, GSumParallelIngestMatchesSequentialProcess) {
   const double par = parallel.Process(stream);
   EXPECT_DOUBLE_EQ(seq, par);
   EXPECT_EQ(sequential.SpaceBytes(), parallel.SpaceBytes());
+}
+
+TEST(IngestEngineTest, ExactFrequencySketchShardedBitIdenticalToSequential) {
+  // The exact tabulator is linear with a trivial merge, so the engine must
+  // reproduce ExactFrequencies() exactly under every policy.
+  const Stream stream = MakeTurnstileStream(211);
+  const FrequencyMap expected = ExactFrequencies(stream);
+  for (const PartitionPolicy policy : kMergePolicies) {
+    for (const size_t shards : kShardCounts) {
+      IngestEngineOptions options;
+      options.policy = policy;
+      ShardedIngestor<ExactFrequencySketch> ingest(
+          options, [](size_t) { return ExactFrequencySketch(); });
+      ingest.Open(shards);
+      SubmitIrregular(ingest, stream);
+      EXPECT_EQ(ingest.Close().Frequencies(), expected)
+          << "policy=" << static_cast<int>(policy) << " shards=" << shards;
+    }
+  }
+}
+
+TEST(IngestEngineTest, OnePassHHShardedBitIdenticalToSequential) {
+  // The full one-pass heavy hitter (CountSketchTopK tracker + AMS) through
+  // the engine: the merged linear state -- tracker counters and AMS sums --
+  // must be bit-identical to the sequential batched pass at every shard
+  // count under both merge policies.  (The candidate set is maintenance
+  // metadata re-derived from those counters at merge; its decode-level
+  // contract is pinned by MergeTest.TopKCandidateUnionMerge... and the
+  // tests/verify/ statistical suite.)
+  const Stream stream = MakeTurnstileStream(212);
+  OnePassHHOptions options;
+  options.count_sketch = {5, 256};
+  options.ams = {16, 5};
+  options.candidates = 32;
+  const OnePassHeavyHitter sequential =
+      ProcessOnePassHH(options, kSeed, stream);
+
+  for (const PartitionPolicy policy : kMergePolicies) {
+    for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      options.parallel_ingest = true;
+      options.ingest_shards = shards;
+      options.ingest_policy = policy;
+      const OnePassHeavyHitter sharded =
+          ProcessOnePassHH(options, kSeed, stream);
+      EXPECT_EQ(sharded.tracker().sketch().counters(),
+                sequential.tracker().sketch().counters())
+          << "policy=" << static_cast<int>(policy) << " shards=" << shards;
+      EXPECT_EQ(sharded.ams().sums(), sequential.ams().sums())
+          << "policy=" << static_cast<int>(policy) << " shards=" << shards;
+      EXPECT_EQ(sharded.PruningRadius(), sequential.PruningRadius());
+    }
+  }
+}
+
+TEST(IngestEngineTest, TwoPassHHShardedCoverIdenticalToSequential) {
+  // With candidates >= distinct items the tracker never prunes, so the
+  // frozen candidate list is the full item set in both the sequential and
+  // every sharded run -- making the *entire* two-pass decode (candidate
+  // list, exact counts, cover) comparable bit-for-bit, not just the
+  // counters.  This pins the whole sharded pass-1 -> AdvancePass ->
+  // sharded pass-2 pipeline.
+  Rng workload_rng(213);
+  StreamShapeOptions shape;
+  shape.churn_pairs = 300;
+  const Workload w =
+      MakeUniformWorkload(128, 100, 1, 400, shape, workload_rng);
+  TwoPassHHOptions options;
+  options.count_sketch = {5, 256};
+  options.candidates = 128;  // >= distinct items: no pruning anywhere
+  const TwoPassHeavyHitter sequential =
+      ProcessTwoPassHH(options, kSeed, w.stream);
+  const GFunctionPtr g = MakePower(2.0);
+  const GCover seq_cover = sequential.Cover(*g);
+
+  for (const PartitionPolicy policy : kMergePolicies) {
+    for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      options.parallel_ingest = true;
+      options.ingest_shards = shards;
+      options.ingest_policy = policy;
+      const TwoPassHeavyHitter sharded =
+          ProcessTwoPassHH(options, kSeed, w.stream);
+      EXPECT_EQ(sharded.tracker().sketch().counters(),
+                sequential.tracker().sketch().counters());
+      ASSERT_EQ(sharded.candidate_ids(), sequential.candidate_ids())
+          << "policy=" << static_cast<int>(policy) << " shards=" << shards;
+      const GCover cover = sharded.Cover(*g);
+      ASSERT_EQ(cover.size(), seq_cover.size());
+      for (size_t i = 0; i < cover.size(); ++i) {
+        EXPECT_EQ(cover[i].item, seq_cover[i].item);
+        EXPECT_EQ(cover[i].frequency, seq_cover[i].frequency);
+        EXPECT_DOUBLE_EQ(cover[i].g_value, seq_cover[i].g_value);
+      }
+    }
+  }
+}
+
+TEST(IngestEngineTest, TwoPassHHShardedFindsPlantedHeaviesUnderPruning) {
+  // With a small candidate budget the sequential and sharded candidate
+  // sets may legitimately differ on borderline background items (different
+  // maintenance trajectories), but both must carry every clearly dominant
+  // item into pass 2 and tabulate it exactly.
+  Rng workload_rng(214);
+  FrequencyMap freq;
+  for (ItemId i = 0; i < 300; ++i) freq[i] = 1 + static_cast<int64_t>(i % 7);
+  freq[2000] = 30000;
+  freq[2001] = 22000;
+  freq[2002] = 15000;
+  const Workload w = MakeStreamFromFrequencies(1 << 12, freq,
+                                               StreamShapeOptions{},
+                                               workload_rng);
+  TwoPassHHOptions options;
+  options.count_sketch = {5, 1024};
+  options.candidates = 16;
+  options.parallel_ingest = true;
+  options.ingest_shards = 4;
+  const TwoPassHeavyHitter sharded = ProcessTwoPassHH(options, kSeed, w.stream);
+  const GCover cover = sharded.Cover(*MakePower(2.0));
+  for (const ItemId heavy : {ItemId{2000}, ItemId{2001}, ItemId{2002}}) {
+    bool found = false;
+    for (const GCoverEntry& e : cover) {
+      if (e.item == heavy) {
+        found = true;
+        EXPECT_EQ(e.frequency, freq.at(heavy));  // pass 2 is exact
+      }
+    }
+    EXPECT_TRUE(found) << "missed planted heavy " << heavy;
+  }
 }
 
 TEST(IngestEngineDeathTest, MergeOfDifferentSeedReplicasTripsFingerprint) {

@@ -19,6 +19,7 @@
 #include "sketch/count_min.h"
 #include "sketch/count_sketch.h"
 #include "sketch/linear_sketch.h"
+#include "stream/exact.h"
 #include "stream/generators.h"
 
 namespace gstream {
@@ -182,6 +183,48 @@ TEST(BatchEquivalenceTest, MergeFromAfterBatchMatchesConcatenatedStream) {
   ProcessStream(cm_ref, both);
   cm_a.MergeFrom(cm_b);
   EXPECT_EQ(cm_a.counters(), cm_ref.counters());
+}
+
+TEST(BatchEquivalenceTest, TwoPassTabulationBatchMatchesSingle) {
+  // Pass 2 of the two-pass algorithm is a linear tabulator over the frozen
+  // candidate list; its batched kernel (run-cached binary search) must
+  // leave the exact counts bit-identical to the per-update loop for any
+  // chunking.  Both instances see the identical pass-1 stream through the
+  // batched path so their frozen candidate lists agree, then pass 2 is
+  // driven single vs chunked.
+  const Stream stream = MakeTurnstileStream(112);
+  TwoPassHHOptions options;
+  options.count_sketch = {5, 512};
+  options.candidates = 24;
+  Rng r1(14), r2(14);
+  TwoPassHeavyHitter single(options, r1);
+  TwoPassHeavyHitter batched(options, r2);
+  ProcessStream(single, stream);
+  ProcessStream(batched, stream);
+  single.AdvancePass();
+  batched.AdvancePass();
+  ASSERT_EQ(single.candidate_ids(), batched.candidate_ids());
+  DriveBoth(single, batched, stream);  // pass-2 tabulation, single vs chunks
+  const GFunctionPtr g = MakePower(2.0);
+  const GCover cs = single.Cover(*g);
+  const GCover cb = batched.Cover(*g);
+  ASSERT_EQ(cs.size(), cb.size());
+  for (size_t i = 0; i < cs.size(); ++i) {
+    EXPECT_EQ(cs[i].item, cb[i].item);
+    EXPECT_EQ(cs[i].frequency, cb[i].frequency);
+    EXPECT_DOUBLE_EQ(cs[i].g_value, cb[i].g_value);
+  }
+}
+
+TEST(BatchEquivalenceTest, ExactFrequencySketchBitIdentical) {
+  // The exact baseline's batched kernel (run-cached hash slot) must agree
+  // with the sequential loop, including zero-pruning of cancelled items.
+  const Stream stream = MakeTurnstileStream(113);
+  ExactFrequencySketch single, batched;
+  DriveBoth(single, batched, stream);
+  EXPECT_EQ(single.Frequencies(), batched.Frequencies());
+  // And the free function (now routed through the batched sketch) agrees.
+  EXPECT_EQ(ExactFrequencies(stream), batched.Frequencies());
 }
 
 TEST(BatchEquivalenceTest, GSumBatchedPipelineMatchesSequential) {

@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
 #include "sketch/ams.h"
 #include "sketch/count_min.h"
 #include "sketch/count_sketch.h"
@@ -121,6 +126,111 @@ TEST(MergeDeathTest, CountMinRejectsDifferentGeometry) {
   Rng r1(kSeed), r2(kSeed);
   CountMinSketch a(CountMinOptions{3, 64}, r1);
   CountMinSketch b(CountMinOptions{3, 128}, r2);
+  EXPECT_DEATH(a.MergeFrom(b), "GSTREAM_CHECK");
+}
+
+// The candidate-union merge property: merging CountSketchTopK shards must
+// leave (1) the inner counters bit-identical to a monolithic sketch
+// (linearity) and (2) the candidate set equal to the k strongest of the
+// candidate union under EstimateAll against the merged counters -- the
+// documented merge rule, recomputed here independently through the public
+// decode so any drift in MergeFrom's internals is caught.  Random shard
+// splits; merges are folded left, maintaining the expected set by the same
+// rule at every step.
+TEST(MergeTest, TopKCandidateUnionMergeMatchesEstimateAllOverUnion) {
+  const CountSketchOptions geometry{5, 512};
+  constexpr size_t kK = 16;
+  for (uint64_t trial = 0; trial < 8; ++trial) {
+    Rng workload_rng(9100 + trial);
+    StreamShapeOptions shape;
+    shape.churn_pairs = 200;
+    const Workload w = MakeZipfWorkload(1 << 12, 600, 1.2, 8000, shape,
+                                        workload_rng);
+    const size_t num_shards = 2 + trial % 4;  // 2..5 shards
+
+    std::vector<CountSketchTopK> shards;
+    for (size_t s = 0; s < num_shards; ++s) {
+      Rng rng(kSeed);
+      shards.emplace_back(geometry, kK, rng);
+    }
+    // Random split of the stream across the shards.
+    Rng split_rng(7700 + trial);
+    for (const Update& u : w.stream.updates()) {
+      shards[split_rng.UniformUint64(num_shards)].Update(u.item, u.delta);
+    }
+    Rng mono_rng(kSeed);
+    CountSketch monolithic(geometry, mono_rng);
+    ProcessStream(monolithic, w.stream);
+
+    // Fold-merge, maintaining the expected candidate set independently:
+    // after each merge it must equal the k strongest of (previous expected
+    // set union incoming shard's set) under merged-counter estimates.
+    std::vector<ItemId> expected = shards[0].CandidateItems();
+    for (size_t s = 1; s < num_shards; ++s) {
+      std::vector<ItemId> unioned = expected;
+      const std::vector<ItemId> incoming = shards[s].CandidateItems();
+      unioned.insert(unioned.end(), incoming.begin(), incoming.end());
+      std::sort(unioned.begin(), unioned.end());
+      unioned.erase(std::unique(unioned.begin(), unioned.end()),
+                    unioned.end());
+
+      shards[0].MergeFrom(shards[s]);
+
+      const std::vector<int64_t> estimates =
+          shards[0].sketch().EstimateAll(unioned);
+      std::vector<std::pair<ItemId, int64_t>> ranked;
+      for (size_t i = 0; i < unioned.size(); ++i) {
+        ranked.emplace_back(unioned[i], estimates[i]);
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) {
+                  const int64_t aa = std::llabs(a.second);
+                  const int64_t bb = std::llabs(b.second);
+                  if (aa != bb) return aa > bb;
+                  return a.first < b.first;
+                });
+      if (ranked.size() > kK) ranked.resize(kK);
+      expected.clear();
+      for (const auto& [item, est] : ranked) expected.push_back(item);
+      std::sort(expected.begin(), expected.end());
+
+      EXPECT_EQ(shards[0].CandidateItems(), expected)
+          << "trial " << trial << " after merging shard " << s;
+      // TopK must agree entry-for-entry with the independently ranked
+      // union decode (same estimates, same order, same truncation).
+      const auto top = shards[0].TopK();
+      ASSERT_EQ(top.size(), ranked.size());
+      for (size_t i = 0; i < top.size(); ++i) {
+        EXPECT_EQ(top[i].first, ranked[i].first);
+        EXPECT_EQ(top[i].second, ranked[i].second);
+      }
+    }
+    // Linearity: merged counters == monolithic counters, so the final
+    // estimates are whole-stream estimates.
+    EXPECT_EQ(shards[0].sketch().counters(), monolithic.counters())
+        << "trial " << trial;
+  }
+}
+
+TEST(MergeDeathTest, TopKRejectsMismatchedK) {
+  const CountSketchOptions geometry{3, 64};
+  Rng r1(kSeed), r2(kSeed);  // same seed: the sketches themselves match
+  CountSketchTopK a(geometry, /*k=*/8, r1);
+  CountSketchTopK b(geometry, /*k=*/16, r2);
+  EXPECT_DEATH(a.MergeFrom(b), "GSTREAM_CHECK");
+}
+
+TEST(MergeDeathTest, TopKRejectsDifferentSeeds) {
+  const CountSketchOptions geometry{3, 64};
+  Rng r1(1), r2(2);
+  CountSketchTopK a(geometry, 8, r1), b(geometry, 8, r2);
+  EXPECT_DEATH(a.MergeFrom(b), "GSTREAM_CHECK");
+}
+
+TEST(MergeDeathTest, TopKRejectsDifferentGeometry) {
+  Rng r1(kSeed), r2(kSeed);
+  CountSketchTopK a(CountSketchOptions{3, 64}, 8, r1);
+  CountSketchTopK b(CountSketchOptions{3, 128}, 8, r2);
   EXPECT_DEATH(a.MergeFrom(b), "GSTREAM_CHECK");
 }
 

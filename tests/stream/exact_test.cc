@@ -83,5 +83,41 @@ TEST(MaxAbsFrequencyTest, Basic) {
   EXPECT_EQ(MaxAbsFrequency({{0, 3}, {1, -9}, {2, 5}}), 9);
 }
 
+TEST(ExactFrequencySketchTest, TracksAndPrunesZeros) {
+  ExactFrequencySketch sketch;
+  sketch.Update(1, 5);
+  sketch.Update(2, 3);
+  sketch.Update(2, -3);  // cancels to zero: pruned from Frequencies()
+  sketch.Update(7, -4);
+  const FrequencyMap freq = sketch.Frequencies();
+  EXPECT_EQ(freq, (FrequencyMap{{1, 5}, {7, -4}}));
+  EXPECT_EQ(sketch.SpaceBytes(),
+            3 * (sizeof(ItemId) + sizeof(int64_t)));  // zero entry retained
+}
+
+TEST(ExactFrequencySketchTest, MergeSumsShards) {
+  // No fingerprint guard: the exact sketch has no hash functions, so any
+  // two instances merge, and the merge equals the concatenated stream.
+  ExactFrequencySketch a, b;
+  a.Update(1, 10);
+  a.Update(2, -3);
+  b.Update(2, 3);  // cancels a's entry after the merge
+  b.Update(9, 7);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Frequencies(), (FrequencyMap{{1, 10}, {9, 7}}));
+}
+
+TEST(ExactFrequencySketchTest, MatchesExactFrequenciesOnAStream) {
+  Stream stream(64);
+  stream.Append(3, 2);
+  stream.Append(3, 2);
+  stream.Append(4, -1);
+  stream.Append(5, 9);
+  stream.Append(5, -9);
+  ExactFrequencySketch sketch;
+  ProcessStream(sketch, stream);
+  EXPECT_EQ(sketch.Frequencies(), ExactFrequencies(stream));
+}
+
 }  // namespace
 }  // namespace gstream

@@ -30,6 +30,7 @@
 #include "core/gnp_sketch.h"
 #include "core/gsum.h"
 #include "core/one_pass_hh.h"
+#include "core/recursive_sketch.h"
 #include "engine/sharded_ingestor.h"
 #include "gfunc/catalog.h"
 #include "sketch/ams.h"
@@ -390,6 +391,45 @@ int Run(int argc, char** argv) {
                        }));
   }
 
+  // One whole Theorem-13 recursive stack (6 levels of OnePassHH over the
+  // same geometry as one_pass_hh above), sequential batched vs whole-stack
+  // sharded through the engine: every shard runs the entire recursion on
+  // its partition and the stacks fold at close via the per-level merges.
+  // sharded1 bounds the engine + whole-stack merge overhead; sharded4
+  // shows the scaling on multi-core hosts.
+  const GHeavyHitterFactory recursive_factory = [&hh_options](int /*level*/,
+                                                              Rng& rng) {
+    return std::make_unique<OnePassHeavyHitter>(hh_options, rng);
+  };
+  constexpr int kRecursiveLevels = 6;
+  report.Add(Measure("recursive_gsum/batched", gsum_stream.length(), repeats,
+                     [&] {
+                       Rng rng(6);
+                       RecursiveGSum stack(kRecursiveLevels, recursive_factory,
+                                           rng);
+                       gsum_stream.ForEachBatch(
+                           kStreamBatchSize, [&](const Update* ups, size_t n) {
+                             stack.UpdateBatch(ups, n);
+                           });
+                       return stack.SpaceBytes();
+                     }));
+  for (const size_t shards : {size_t{1}, size_t{4}}) {
+    report.Add(Measure("recursive_gsum/sharded" + std::to_string(shards),
+                       gsum_stream.length(), repeats, [&, shards] {
+                         IngestEngineOptions engine_options;
+                         engine_options.shards = shards;
+                         ShardedIngestor<RecursiveGSum> ingest(
+                             engine_options, [&recursive_factory](size_t) {
+                               Rng rng(6);
+                               return RecursiveGSum(kRecursiveLevels,
+                                                    recursive_factory, rng);
+                             });
+                         ingest.Open();
+                         ingest.SubmitStream(gsum_stream);
+                         return ingest.Close().SpaceBytes();
+                       }));
+  }
+
   // End-to-end one-pass g-sum pipeline (3 repetitions of the recursive
   // sketch over CountSketchTopK + AMS per level).
   GSumOptions gsum_options;
@@ -435,6 +475,10 @@ int Run(int argc, char** argv) {
                     "one_pass_hh/batched");
   report.AddSpeedup("one_pass_hh_sharded4_vs_batched", "one_pass_hh/sharded4",
                     "one_pass_hh/batched");
+  report.AddSpeedup("recursive_gsum_sharded1_vs_batched",
+                    "recursive_gsum/sharded1", "recursive_gsum/batched");
+  report.AddSpeedup("recursive_gsum_sharded4_vs_batched",
+                    "recursive_gsum/sharded4", "recursive_gsum/batched");
 
   report.PrintTable(stdout);
   if (!report.WriteJson(out_path)) return 1;

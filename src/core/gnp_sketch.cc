@@ -40,6 +40,35 @@ GnpHeavyHitter::GnpHeavyHitter(const GnpSketchOptions& options, Rng& rng)
   counters_.assign(options.substreams * options.trials *
                        (static_cast<size_t>(options.id_bits) + 1),
                    0);
+  // Fingerprint the drawn substream and trial hashes by probing them, the
+  // same guard discipline as the linear sketches: equal iff the sketches
+  // were constructed from equal-state Rngs.
+  uint64_t fp = 0xcbf29ce484222325ULL;
+  for (uint64_t probe : {uint64_t{1}, uint64_t{0x9e3779b9}}) {
+    const uint64_t xm = ReduceToField(probe);
+    fp = (fp ^ SubstreamOf(xm)) * 0x100000001b3ULL;
+    for (size_t t = 0; t < options.trials; ++t) {
+      fp = (fp ^ static_cast<uint64_t>(TrialSampled(t, xm))) *
+           0x100000001b3ULL;
+    }
+  }
+  hash_fingerprint_ = fp;
+}
+
+void GnpHeavyHitter::MergeFrom(const GnpHeavyHitter& other) {
+  GSTREAM_CHECK_EQ(options_.substreams, other.options_.substreams);
+  GSTREAM_CHECK_EQ(options_.trials, other.options_.trials);
+  GSTREAM_CHECK_EQ(options_.id_bits, other.options_.id_bits);
+  GSTREAM_CHECK_EQ(hash_fingerprint_, other.hash_fingerprint_);
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
+void GnpHeavyHitter::MergeFrom(const GHeavyHitterSketch& other) {
+  const auto* o = dynamic_cast<const GnpHeavyHitter*>(&other);
+  GSTREAM_CHECK(o != nullptr);
+  MergeFrom(*o);
 }
 
 size_t GnpHeavyHitter::SlotIndex(size_t substream, size_t trial,
@@ -68,7 +97,7 @@ void GnpHeavyHitter::Update(ItemId item, int64_t delta) {
   }
 }
 
-void GnpHeavyHitter::UpdateBatch(const struct Update* updates, size_t n) {
+void GnpHeavyHitter::UpdateBatch(const gstream::Update* updates, size_t n) {
   const size_t slots = static_cast<size_t>(options_.id_bits) + 1;
   const uint64_t id_mask = (options_.id_bits >= 64)
                                ? ~uint64_t{0}

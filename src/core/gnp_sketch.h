@@ -55,11 +55,25 @@ class GnpHeavyHitter : public GHeavyHitterSketch {
 
   int passes() const override { return 1; }
   void Update(ItemId item, int64_t delta) override;
-  void UpdateBatch(const struct Update* updates, size_t n) override;
+  void UpdateBatch(const gstream::Update* updates, size_t n) override;
   void AdvancePass() override;
 
   // Cover entries carry g_np(|v_j|) in g_value (has_frequency = false).
   GCover Cover(const GFunction& g) const override;
+
+  // Adds another sketch's signed-bit sums into this one.  The per-trial
+  // sums m and m_b are linear in the frequency vector, so -- under matched
+  // substream/trial geometry and shared hashes (same-seed construction,
+  // fingerprint-guarded like the linear sketches) -- the merged counters
+  // are bit-identical to one sketch that processed both shards, and the
+  // decode is the whole-stream decode.
+  void MergeFrom(const GnpHeavyHitter& other);
+
+  void MergeFrom(const GHeavyHitterSketch& other) override;
+  uint64_t Fingerprint() const override { return hash_fingerprint_; }
+  std::unique_ptr<GHeavyHitterSketch> Clone() const override {
+    return std::make_unique<GnpHeavyHitter>(*this);
+  }
 
   size_t SpaceBytes() const override;
 
@@ -91,6 +105,7 @@ class GnpHeavyHitter : public GHeavyHitterSketch {
   std::vector<uint64_t> t0_;
   std::vector<uint64_t> t1_;
   std::vector<int64_t> counters_;
+  uint64_t hash_fingerprint_ = 0;  // guards MergeFrom
 };
 
 }  // namespace gstream

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/recursive_sketch.h"
+#include "engine/ingest_engine.h"
 #include "gfunc/catalog.h"
 #include "sketch/ams.h"
 #include "sketch/count_sketch.h"
@@ -55,14 +56,25 @@ struct GSumOptions {
   // Probe magnitudes per sign in the pruning test.
   size_t probe_points = 24;
   uint64_t seed = 0x9b1e;
-  // When true (and repetitions > 1), Process() feeds the repetitions
-  // through the sharded ingestion engine in kBroadcast mode -- one worker
-  // thread per repetition, each draining the identical kStreamBatchSize
-  // chunk sequence a sequential ProcessStream pass would see, so every
-  // repetition's state (and hence the estimate) is bit-identical to the
-  // sequential batched run.  Incremental Update/UpdateBatch callers are
-  // unaffected.
+  // When true, Process() shards each pass through the ingestion engine:
+  // every shard runs a Replicate() of the *entire* stack of repetitions --
+  // all recursive levels included -- on its partition of the stream
+  // (`ingest_policy`: hash-by-item or round-robin chunks), and the stacks
+  // fold at Close() through the per-level fingerprint-guarded merges.
+  // Parallelism therefore scales with `ingest_shards` and the host's
+  // cores, independent of the repetition count (unlike the old broadcast
+  // mode, which capped workers at `repetitions`).  The merged per-level
+  // *linear* state is bit-identical to the sequential batched pass for any
+  // policy and shard count; the estimate is additionally bit-identical
+  // whenever no level prunes candidates (see docs/engine.md on the
+  // candidate-union merge for the pruning-regime caveat).  Incremental
+  // Update/UpdateBatch callers not going through Process() are
+  // unaffected; Process()'s fresh-estimator precondition is *checked* on
+  // this path, because replicating stacks that already hold state would
+  // multiply that state by the shard count at the fold.
   bool parallel_ingest = false;
+  size_t ingest_shards = 4;
+  PartitionPolicy ingest_policy = PartitionPolicy::kRoundRobinChunks;
 };
 
 class GSumEstimator {
@@ -80,7 +92,7 @@ class GSumEstimator {
   // kStreamBatchSize chunks); it fans the chunk out to every repetition's
   // batched recursive sketch.
   void Update(ItemId item, int64_t delta);
-  void UpdateBatch(const struct Update* updates, size_t n);
+  void UpdateBatch(const gstream::Update* updates, size_t n);
   void AdvancePass();
 
   // Median-of-repetitions estimate under the bound function.
@@ -92,7 +104,9 @@ class GSumEstimator {
   double EstimateForG(const GFunction& other) const;
 
   // Convenience: runs the configured number of passes over `stream` and
-  // returns Estimate().  Must be called on a freshly constructed estimator.
+  // returns Estimate().  Must be called on a freshly constructed estimator
+  // (enforced when parallel_ingest shards the stacks: pre-fed state would
+  // be replicated into every shard and multiplied at the fold).
   double Process(const Stream& stream);
 
   size_t SpaceBytes() const;
@@ -102,6 +116,9 @@ class GSumEstimator {
   GSumOptions options_;
   double h_envelope_ = 1.0;
   std::vector<RecursiveGSum> reps_;
+  // Updates fed through the incremental interface; guards Process()'s
+  // fresh-estimator precondition on the sharded path.
+  uint64_t updates_fed_ = 0;
 };
 
 }  // namespace gstream

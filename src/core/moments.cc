@@ -32,8 +32,7 @@ double FrequencyMomentEstimator::Estimate() const {
 }
 
 double FrequencyMomentEstimator::Process(const Stream& stream) {
-  // `struct Update` disambiguates the update type from the member function.
-  for (const struct Update& u : stream.updates()) Update(u.item, u.delta);
+  for (const gstream::Update& u : stream.updates()) Update(u.item, u.delta);
   return Estimate();
 }
 

@@ -23,7 +23,7 @@ void OnePassHeavyHitter::Update(ItemId item, int64_t delta) {
   ams_.Update(item, delta);
 }
 
-void OnePassHeavyHitter::UpdateBatch(const struct Update* updates, size_t n) {
+void OnePassHeavyHitter::UpdateBatch(const gstream::Update* updates, size_t n) {
   tracker_.UpdateBatch(updates, n);
   ams_.UpdateBatch(updates, n);
 }
@@ -35,6 +35,12 @@ void OnePassHeavyHitter::AdvancePass() {
 void OnePassHeavyHitter::MergeFrom(const OnePassHeavyHitter& other) {
   tracker_.MergeFrom(other.tracker_);
   ams_.MergeFrom(other.ams_);
+}
+
+void OnePassHeavyHitter::MergeFrom(const GHeavyHitterSketch& other) {
+  const auto* o = dynamic_cast<const OnePassHeavyHitter*>(&other);
+  GSTREAM_CHECK(o != nullptr);
+  MergeFrom(*o);
 }
 
 OnePassHeavyHitter ProcessOnePassHH(const OnePassHHOptions& options,

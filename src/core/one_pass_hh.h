@@ -56,7 +56,7 @@ class OnePassHeavyHitter : public GHeavyHitterSketch {
 
   int passes() const override { return 1; }
   void Update(ItemId item, int64_t delta) override;
-  void UpdateBatch(const struct Update* updates, size_t n) override;
+  void UpdateBatch(const gstream::Update* updates, size_t n) override;
   void AdvancePass() override;
   GCover Cover(const GFunction& g) const override;
   size_t SpaceBytes() const override;
@@ -66,6 +66,17 @@ class OnePassHeavyHitter : public GHeavyHitterSketch {
   // MergeFrom) plus the AMS sum merge.  Both components fingerprint-guard
   // the shared-hash requirement.
   void MergeFrom(const OnePassHeavyHitter& other);
+
+  // Mergeable-interface surface: the type-erased merge checks the dynamic
+  // type and delegates to the typed merge above; the fingerprint combines
+  // the component guards.
+  void MergeFrom(const GHeavyHitterSketch& other) override;
+  uint64_t Fingerprint() const override {
+    return tracker_.Fingerprint() * 0x100000001b3ULL ^ ams_.Fingerprint();
+  }
+  std::unique_ptr<GHeavyHitterSketch> Clone() const override {
+    return std::make_unique<OnePassHeavyHitter>(*this);
+  }
 
   // The pruning interval E derived from the current F2 estimate.
   int64_t PruningRadius() const;

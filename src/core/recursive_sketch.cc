@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -18,6 +19,43 @@ RecursiveGSum::RecursiveGSum(int levels, const GHeavyHitterFactory& factory,
     GSTREAM_CHECK_EQ(sketches_.back()->passes(), sketches_.front()->passes());
   }
   level_batches_.resize(static_cast<size_t>(levels) + 1);
+  // Reserve the partition buffers once, at the ForEachBatch chunk size, so
+  // steady-state UpdateBatch never grows them (the AppendStream-style
+  // pre-sizing discipline of Stream::Reserve).  Level 0 receives every
+  // update of a chunk; deeper levels receive subsets, but any level can
+  // receive a full chunk in the worst case, so all get full capacity.
+  for (auto& batch : level_batches_) batch.reserve(kStreamBatchSize);
+}
+
+RecursiveGSum::RecursiveGSum(ReplicateTag, const RecursiveGSum& other)
+    : subsampler_(other.subsampler_) {
+  sketches_.reserve(other.sketches_.size());
+  for (const auto& sketch : other.sketches_) {
+    sketches_.push_back(sketch->Clone());
+  }
+  level_batches_.resize(other.level_batches_.size());
+  for (auto& batch : level_batches_) batch.reserve(kStreamBatchSize);
+}
+
+RecursiveGSum RecursiveGSum::Replicate() const {
+  return RecursiveGSum(ReplicateTag{}, *this);
+}
+
+void RecursiveGSum::MergeFrom(const RecursiveGSum& other) {
+  GSTREAM_CHECK_EQ(levels(), other.levels());
+  GSTREAM_CHECK_EQ(subsampler_.Fingerprint(), other.subsampler_.Fingerprint());
+  for (size_t l = 0; l < sketches_.size(); ++l) {
+    // Each level sketch checks its own type and hash fingerprint.
+    sketches_[l]->MergeFrom(*other.sketches_[l]);
+  }
+}
+
+uint64_t RecursiveGSum::Fingerprint() const {
+  uint64_t fp = subsampler_.Fingerprint();
+  for (const auto& sketch : sketches_) {
+    fp = (fp ^ sketch->Fingerprint()) * 0x100000001b3ULL;
+  }
+  return fp;
 }
 
 void RecursiveGSum::Update(ItemId item, int64_t delta) {
@@ -27,10 +65,17 @@ void RecursiveGSum::Update(ItemId item, int64_t delta) {
   }
 }
 
-void RecursiveGSum::UpdateBatch(const struct Update* updates, size_t n) {
+void RecursiveGSum::UpdateBatch(const gstream::Update* updates, size_t n) {
   if (n == 0) return;
   const int max_level = levels();
-  for (auto& batch : level_batches_) batch.clear();  // capacity retained
+  for (auto& batch : level_batches_) {
+    batch.clear();  // capacity retained
+    // Oversized feeds (raw callers bypassing ForEachBatch framing) grow
+    // the buffer once here, before the fill, so the partition loop below
+    // never reallocates mid-chunk.
+    if (batch.capacity() < n) batch.reserve(n);
+  }
+  const gstream::Update* const base0 = level_batches_[0].data();
   for (size_t i = 0; i < n; ++i) {
     const int deepest =
         std::min(subsampler_.LevelOf(updates[i].item), max_level);
@@ -38,6 +83,10 @@ void RecursiveGSum::UpdateBatch(const struct Update* updates, size_t n) {
       level_batches_[static_cast<size_t>(l)].push_back(updates[i]);
     }
   }
+  // Steady-state reuse invariant: capacity was ensured up front, so the
+  // fill must not have moved the buffers (checked on level 0, the one that
+  // takes the full chunk every time).
+  GSTREAM_CHECK(level_batches_[0].data() == base0);
   for (int l = 0; l <= max_level; ++l) {
     const auto& batch = level_batches_[static_cast<size_t>(l)];
     if (batch.empty()) continue;

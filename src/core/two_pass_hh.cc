@@ -27,7 +27,7 @@ void TwoPassHeavyHitter::Update(ItemId item, int64_t delta) {
   }
 }
 
-void TwoPassHeavyHitter::UpdateBatch(const struct Update* updates, size_t n) {
+void TwoPassHeavyHitter::UpdateBatch(const gstream::Update* updates, size_t n) {
   if (current_pass_ == 1) {
     tracker_.UpdateBatch(updates, n);
     return;
@@ -83,6 +83,12 @@ void TwoPassHeavyHitter::MergeFrom(const TwoPassHeavyHitter& other) {
   for (size_t i = 0; i < exact_counts_.size(); ++i) {
     exact_counts_[i] += other.exact_counts_[i];
   }
+}
+
+void TwoPassHeavyHitter::MergeFrom(const GHeavyHitterSketch& other) {
+  const auto* o = dynamic_cast<const TwoPassHeavyHitter*>(&other);
+  GSTREAM_CHECK(o != nullptr);
+  MergeFrom(*o);
 }
 
 GCover TwoPassHeavyHitter::Cover(const GFunction& g) const {

@@ -51,7 +51,7 @@ class TwoPassHeavyHitter : public GHeavyHitterSketch {
 
   int passes() const override { return 2; }
   void Update(ItemId item, int64_t delta) override;
-  void UpdateBatch(const struct Update* updates, size_t n) override;
+  void UpdateBatch(const gstream::Update* updates, size_t n) override;
   void AdvancePass() override;
   GCover Cover(const GFunction& g) const override;
   size_t SpaceBytes() const override;
@@ -63,6 +63,15 @@ class TwoPassHeavyHitter : public GHeavyHitterSketch {
   // the pass-1 tracker -- frozen, no longer part of the decode -- is left
   // untouched so replicated trackers are not double-counted.
   void MergeFrom(const TwoPassHeavyHitter& other);
+
+  // Mergeable-interface surface: the type-erased merge checks the dynamic
+  // type and delegates to the typed merge above (which additionally checks
+  // the pass agreement and, in pass 2, the frozen candidate lists).
+  void MergeFrom(const GHeavyHitterSketch& other) override;
+  uint64_t Fingerprint() const override { return tracker_.Fingerprint(); }
+  std::unique_ptr<GHeavyHitterSketch> Clone() const override {
+    return std::make_unique<TwoPassHeavyHitter>(*this);
+  }
 
   // Pass-1 state, exposed so engine equivalence tests can pin the merged
   // counters bit-exactly against a sequential pass.

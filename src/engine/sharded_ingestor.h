@@ -1,15 +1,20 @@
 // ShardedIngestor<SketchT>: the replicate -> ingest -> merge pattern on top
-// of IngestEngine, for any sketch with UpdateBatch and a fingerprint-guarded
-// MergeFrom (CountSketch, CountMinSketch, AmsSketch).
+// of IngestEngine, for any type with UpdateBatch and a fingerprint-guarded
+// MergeFrom.  SketchT need not be a LinearSketch, or copyable: move-only
+// mergeable units work too -- the whole recursive g-sum stack
+// (RecursiveGSum) shards through here via its Replicate()/MergeFrom pair,
+// exactly like a plain CountSketch.
 //
 // The caller supplies a factory that builds one replica per shard; every
 // replica must be constructed from an equal-state Rng (same seed), so all
 // shards share hash functions and MergeFrom's fingerprint guard accepts the
-// final merge.  Because the sketches are linear over int64 counters -- and
-// integer addition is commutative and associative even under wraparound --
-// the merged sketch is bit-identical to one that processed the whole stream
-// sequentially, for any partitioning policy and any thread interleaving.
-// tests/engine/ingest_engine_test.cc pins exactly that.
+// final merge.  Because the sketch states are linear over int64 counters --
+// and integer addition is commutative and associative even under wraparound
+// -- the merged sketch is bit-identical to one that processed the whole
+// stream sequentially, for any partitioning policy and any thread
+// interleaving.  tests/engine/ingest_engine_test.cc pins exactly that.
+// (Composite units additionally carry non-linear candidate metadata; see
+// docs/engine.md on the candidate-union merge for what is exact there.)
 //
 // Typical use:
 //
@@ -127,7 +132,9 @@ class ShardedIngestor {
 // pass-2 pattern for multi-pass algorithms, where each shard must start
 // from the same frozen decode state (e.g. a two-pass heavy hitter's
 // candidate list after AdvancePass).  The prototype is captured by
-// reference and must outlive Open().
+// reference and must outlive Open().  Requires a copyable SketchT;
+// move-only units expose an explicit deep copy instead (e.g.
+// RecursiveGSum::Replicate) that a hand-written factory lambda calls.
 template <typename SketchT>
 typename ShardedIngestor<SketchT>::Factory ReplicateFactory(
     const SketchT& prototype) {

@@ -45,7 +45,7 @@ void AmsSketch::Update(ItemId item, int64_t delta) {
   }
 }
 
-void AmsSketch::UpdateBatch(const struct Update* updates, size_t n) {
+void AmsSketch::UpdateBatch(const gstream::Update* updates, size_t n) {
   if (n == 0) return;
   if (xm_scratch_.size() < n) {
     xm_scratch_.resize(n);

@@ -36,7 +36,7 @@ class AmsSketch : public LinearSketch {
   AmsSketch(const AmsOptions& options, Rng& rng);
 
   void Update(ItemId item, int64_t delta) override;
-  void UpdateBatch(const struct Update* updates, size_t n) override;
+  void UpdateBatch(const gstream::Update* updates, size_t n) override;
 
   // Median-of-means F2 estimate.
   double EstimateF2() const;
@@ -51,6 +51,10 @@ class AmsSketch : public LinearSketch {
   // Raw estimator sums (group_size * groups); used by the batch/single
   // equivalence tests.
   const std::vector<int64_t>& sums() const { return sums_; }
+
+  // The hash-coefficient fingerprint that guards MergeFrom; see
+  // CountSketch::Fingerprint.
+  uint64_t Fingerprint() const { return hash_fingerprint_; }
 
  private:
   AmsOptions options_;

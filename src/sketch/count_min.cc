@@ -42,7 +42,7 @@ void CountMinSketch::Update(ItemId item, int64_t delta) {
   }
 }
 
-void CountMinSketch::UpdateBatch(const struct Update* updates, size_t n) {
+void CountMinSketch::UpdateBatch(const gstream::Update* updates, size_t n) {
   if (n == 0) return;
   if (xm_scratch_.size() < n) {
     xm_scratch_.resize(n);

@@ -31,7 +31,7 @@ class CountMinSketch : public LinearSketch {
   CountMinSketch(const CountMinOptions& options, Rng& rng);
 
   void Update(ItemId item, int64_t delta) override;
-  void UpdateBatch(const struct Update* updates, size_t n) override;
+  void UpdateBatch(const gstream::Update* updates, size_t n) override;
 
   // Min-of-rows decode (valid upper bound in the insertion-only model).
   int64_t EstimateMin(ItemId item) const;

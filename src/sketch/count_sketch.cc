@@ -70,7 +70,7 @@ void CountSketch::Update(ItemId item, int64_t delta) {
   }
 }
 
-void CountSketch::UpdateBatch(const struct Update* updates, size_t n) {
+void CountSketch::UpdateBatch(const gstream::Update* updates, size_t n) {
   if (n == 0) return;
   if (xm_scratch_.size() < n) {
     xm_scratch_.resize(n);
@@ -211,7 +211,7 @@ void CountSketchTopK::Update(ItemId item, int64_t delta) {
   Refresh(item);
 }
 
-void CountSketchTopK::UpdateBatch(const struct Update* updates, size_t n) {
+void CountSketchTopK::UpdateBatch(const gstream::Update* updates, size_t n) {
   sketch_.UpdateBatch(updates, n);
   // Refresh each distinct touched item once against the post-batch
   // counters; estimates only get sharper than the mid-batch values the

@@ -53,7 +53,7 @@ class CountSketch : public LinearSketch {
   CountSketch(const CountSketchOptions& options, Rng& rng);
 
   void Update(ItemId item, int64_t delta) override;
-  void UpdateBatch(const struct Update* updates, size_t n) override;
+  void UpdateBatch(const gstream::Update* updates, size_t n) override;
 
   // Adds another sketch's counters into this one.  Both sketches must have
   // been constructed with the same geometry from equal-state Rngs (same
@@ -81,6 +81,12 @@ class CountSketch : public LinearSketch {
 
   size_t rows() const { return options_.rows; }
   size_t buckets() const { return options_.buckets; }
+
+  // The hash-coefficient fingerprint that guards MergeFrom: equal iff the
+  // sketches drew identical randomness (same-seed construction).  Exposed
+  // so composite structures (heavy-hitter sketches, the recursive stack)
+  // can derive their own merge guards from their components'.
+  uint64_t Fingerprint() const { return hash_fingerprint_; }
 
   // Raw counter state (rows * buckets, row-major); used by the
   // batch/single equivalence tests.
@@ -127,7 +133,7 @@ class CountSketchTopK : public LinearSketch {
   // Applies the whole batch to the underlying sketch first (bit-identical
   // counters to the sequential loop), then refreshes each distinct touched
   // item's estimate once.
-  void UpdateBatch(const struct Update* updates, size_t n) override;
+  void UpdateBatch(const gstream::Update* updates, size_t n) override;
 
   // Merges another tracker that processed a disjoint shard of the stream.
   // Both trackers must share k and hash functions (same-seed construction;
@@ -152,6 +158,12 @@ class CountSketchTopK : public LinearSketch {
 
   const CountSketch& sketch() const { return sketch_; }
   size_t k() const { return k_; }
+
+  // Merge-guard fingerprint: the inner sketch's hash fingerprint mixed
+  // with k (trackers of different capacity must not merge).
+  uint64_t Fingerprint() const {
+    return sketch_.Fingerprint() ^ (k_ * 0x9e3779b97f4a7c15ULL);
+  }
 
   size_t SpaceBytes() const override;
 

@@ -34,7 +34,7 @@ class LinearSketch {
   // state the equivalent sequence of Update calls would; the default
   // forwards one by one, and sketches override it with allocation-free
   // batched kernels.
-  virtual void UpdateBatch(const struct Update* updates, size_t n) {
+  virtual void UpdateBatch(const gstream::Update* updates, size_t n) {
     for (size_t i = 0; i < n; ++i) Update(updates[i].item, updates[i].delta);
   }
 

@@ -15,6 +15,14 @@ NestedSubsampler::NestedSubsampler(int max_level, Rng& rng) {
     uint64_t lead = rng.UniformUint64(kMersenne61);
     a1_.push_back(lead == 0 ? 1 : lead);
   }
+  // FNV-fold the coefficients directly (they are plain members, no bank to
+  // probe): equal-state Rngs draw equal coefficient sequences.
+  uint64_t fp = 0xcbf29ce484222325ULL;
+  for (int l = 0; l < max_level; ++l) {
+    fp = (fp ^ a0_[static_cast<size_t>(l)]) * 0x100000001b3ULL;
+    fp = (fp ^ a1_[static_cast<size_t>(l)]) * 0x100000001b3ULL;
+  }
+  fingerprint_ = fp;
 }
 
 void NestedSubsampler::LevelOfBatch(const Update* updates, size_t n,

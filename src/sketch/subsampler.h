@@ -53,6 +53,13 @@ class NestedSubsampler {
 
   int max_level() const { return static_cast<int>(a0_.size()); }
 
+  // Fingerprint of the drawn level-survival coefficients: equal iff the
+  // subsamplers were constructed from equal-state Rngs, in which case they
+  // induce identical level partitions.  Guards the recursive sketch's
+  // whole-stack merge -- merging level sketches is only meaningful when
+  // both stacks subsampled the domain identically.
+  uint64_t Fingerprint() const { return fingerprint_; }
+
   size_t SpaceBytes() const;
 
  private:
@@ -60,6 +67,7 @@ class NestedSubsampler {
   // item survives iff (a1_[l] * x + a0_[l] mod p) is odd.
   std::vector<uint64_t> a0_;
   std::vector<uint64_t> a1_;
+  uint64_t fingerprint_ = 0;
 };
 
 }  // namespace gstream

@@ -6,7 +6,7 @@
 
 namespace gstream {
 
-void ExactFrequencySketch::UpdateBatch(const struct Update* updates,
+void ExactFrequencySketch::UpdateBatch(const gstream::Update* updates,
                                        size_t n) {
   if (n == 0) return;
   ItemId run_item = updates[0].item;

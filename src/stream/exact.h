@@ -30,7 +30,7 @@ class ExactFrequencySketch : public LinearSketch {
   // per update.  Aggregated generator output and sorted replays repeat
   // items back-to-back, and node-based map storage keeps the cached slot
   // pointer valid across rehashes.  Bit-identical to the sequential loop.
-  void UpdateBatch(const struct Update* updates, size_t n) override;
+  void UpdateBatch(const gstream::Update* updates, size_t n) override;
 
   // Sums another instance's frequencies into this one (exact linearity).
   void MergeFrom(const ExactFrequencySketch& other);

@@ -97,6 +97,49 @@ TEST(RecursiveSketchTest, TwoPassSubroutineConcentrates) {
   EXPECT_LE(Median(errors), 0.25);
 }
 
+// Merging same-seed stacks that processed a random split of the stream
+// must reproduce the monolithic estimate: with exact covers the per-level
+// merges are exact frequency sums, so the telescoping identity still
+// cancels and the merged estimate equals the exact g-SUM.
+TEST(RecursiveSketchTest, MergedShardsReproduceMonolithicEstimate) {
+  Rng data_rng(11);
+  const Workload w = MakeUniformWorkload(1 << 10, 300, 1, 200,
+                                         StreamShapeOptions{}, data_rng);
+  const GFunctionPtr g = MakePower(2.0);
+  const double truth = ExactGSum(w.frequencies, g->AsCallable());
+  constexpr int kLevels = 5;
+  constexpr size_t kShards = 3;
+
+  Rng proto_rng(77);
+  RecursiveGSum prototype(kLevels, ExactFactory(), proto_rng);
+  std::vector<RecursiveGSum> shards;
+  for (size_t s = 0; s < kShards; ++s) shards.push_back(prototype.Replicate());
+  Rng split_rng(78);
+  for (const Update& u : w.stream.updates()) {
+    shards[split_rng.UniformUint64(kShards)].Update(u.item, u.delta);
+  }
+  for (size_t s = 1; s < kShards; ++s) shards[0].MergeFrom(shards[s]);
+  EXPECT_NEAR(shards[0].Estimate(*g), truth, 1e-6 * truth);
+  // Replicas share the prototype's randomness.
+  EXPECT_EQ(shards[0].Fingerprint(), prototype.Fingerprint());
+}
+
+TEST(RecursiveSketchDeathTest, MergeRejectsDifferentSeeds) {
+  // Different-seed stacks subsample the domain differently; the
+  // subsampler-fingerprint guard must refuse to fold their levels.
+  Rng r1(1), r2(2);
+  RecursiveGSum a(4, ExactFactory(), r1);
+  RecursiveGSum b(4, ExactFactory(), r2);
+  EXPECT_DEATH(a.MergeFrom(b), "GSTREAM_CHECK");
+}
+
+TEST(RecursiveSketchDeathTest, MergeRejectsDifferentDepths) {
+  Rng r1(1), r2(1);
+  RecursiveGSum shallow(2, ExactFactory(), r1);
+  RecursiveGSum deep(4, ExactFactory(), r2);
+  EXPECT_DEATH(shallow.MergeFrom(deep), "GSTREAM_CHECK");
+}
+
 TEST(RecursiveSketchTest, SpaceSumsOverLevels) {
   Rng rng(8);
   RecursiveGSum shallow(1, ExactFactory(), rng);

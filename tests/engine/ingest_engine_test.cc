@@ -10,8 +10,10 @@
 
 #include <vector>
 
+#include "core/gnp_sketch.h"
 #include "core/gsum.h"
 #include "core/one_pass_hh.h"
+#include "core/recursive_sketch.h"
 #include "core/two_pass_hh.h"
 #include "engine/ingest_engine.h"
 #include "engine/sharded_ingestor.h"
@@ -310,24 +312,192 @@ TEST(IngestEngineTest, DrainAllowsPerShardQueriesBeforeMerge) {
   EXPECT_EQ(ingest.Close().counters(), sequential.counters());
 }
 
-TEST(IngestEngineTest, GSumParallelIngestMatchesSequentialProcess) {
-  // End-to-end wiring: Process() with parallel_ingest runs every
-  // repetition on its own worker with the sequential chunk framing, so the
-  // estimate is bit-identical to the single-threaded batched run.
-  const Stream stream = MakeTurnstileStream(209);
-  GSumOptions options;
-  options.passes = 1;
-  options.cs_buckets = 256;
-  options.candidates = 32;
-  options.repetitions = 3;
-  GSumEstimator sequential(MakePower(2.0), 1 << 12, options);
-  const double seq = sequential.Process(stream);
+TEST(IngestEngineTest, RecursiveGSumShardedBitIdenticalToSequential) {
+  // The whole Theorem-13 stack through the engine: N shards each run the
+  // *entire* recursion (subsampler + every level sketch) on their stream
+  // partition and fold at close.  With a candidate budget at least the
+  // distinct-item count no level ever prunes, so not just the per-level
+  // linear state (tracker counters, AMS sums) but the estimate itself must
+  // be bit-identical to the sequential batched pass, at every shard count
+  // under both merge policies.
+  Rng workload_rng(215);
+  StreamShapeOptions shape;
+  shape.churn_pairs = 300;
+  const Workload w =
+      MakeUniformWorkload(1 << 10, 100, 1, 400, shape, workload_rng);
+  const GFunctionPtr g = MakePower(2.0);
 
+  OnePassHHOptions level_options;
+  level_options.count_sketch = {5, 256};
+  level_options.ams = {8, 3};
+  level_options.candidates = 128;  // >= distinct items: no pruning anywhere
+  const GHeavyHitterFactory factory = [level_options](int /*level*/,
+                                                      Rng& rng) {
+    return std::make_unique<OnePassHeavyHitter>(level_options, rng);
+  };
+  constexpr int kLevels = 4;
+
+  Rng seq_rng(kSeed);
+  RecursiveGSum sequential(kLevels, factory, seq_rng);
+  w.stream.ForEachBatch(kStreamBatchSize, [&](const Update* ups, size_t n) {
+    sequential.UpdateBatch(ups, n);
+  });
+  const double seq_estimate = sequential.Estimate(*g);
+
+  for (const PartitionPolicy policy : kMergePolicies) {
+    for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      IngestEngineOptions options;
+      options.policy = policy;
+      ShardedIngestor<RecursiveGSum> ingest(options, [&factory](size_t) {
+        Rng rng(kSeed);  // same seed per shard => shared subsampler + hashes
+        return RecursiveGSum(kLevels, factory, rng);
+      });
+      ingest.Open(shards);
+      SubmitIrregular(ingest, w.stream);
+      const RecursiveGSum& merged = ingest.Close();
+      ASSERT_EQ(merged.Fingerprint(), sequential.Fingerprint());
+      for (int l = 0; l <= kLevels; ++l) {
+        const auto& seq_level =
+            dynamic_cast<const OnePassHeavyHitter&>(sequential.level_sketch(l));
+        const auto& mrg_level =
+            dynamic_cast<const OnePassHeavyHitter&>(merged.level_sketch(l));
+        EXPECT_EQ(mrg_level.tracker().sketch().counters(),
+                  seq_level.tracker().sketch().counters())
+            << "level " << l << " policy " << static_cast<int>(policy)
+            << " shards " << shards;
+        EXPECT_EQ(mrg_level.ams().sums(), seq_level.ams().sums())
+            << "level " << l << " policy " << static_cast<int>(policy)
+            << " shards " << shards;
+      }
+      EXPECT_DOUBLE_EQ(merged.Estimate(*g), seq_estimate)
+          << "policy " << static_cast<int>(policy) << " shards " << shards;
+    }
+  }
+}
+
+TEST(IngestEngineTest, GnpRecursiveStackShardedBitIdenticalToSequential) {
+  // The gnp-backed 1-pass g_np-SUM: every level's state is purely linear
+  // (signed-bit sums), so sharded == sequential holds bit-exactly with no
+  // candidate-budget caveat, on a fully turnstile stream.  The shard
+  // replicas here come from Replicate() of one prototype stack, pinning
+  // the Clone()-based replication path the estimator uses.
+  const Stream stream = MakeTurnstileStream(216);
+  GnpSketchOptions gnp_options;
+  gnp_options.substreams = 32;
+  gnp_options.trials = 12;
+  gnp_options.id_bits = 12;
+  const GHeavyHitterFactory factory = [gnp_options](int /*level*/, Rng& rng) {
+    return std::make_unique<GnpHeavyHitter>(gnp_options, rng);
+  };
+  constexpr int kLevels = 5;
+  const GFunctionPtr g = MakeGnp();
+
+  Rng seq_rng(kSeed);
+  RecursiveGSum sequential(kLevels, factory, seq_rng);
+  stream.ForEachBatch(kStreamBatchSize, [&](const Update* ups, size_t n) {
+    sequential.UpdateBatch(ups, n);
+  });
+
+  Rng proto_rng(kSeed);
+  const RecursiveGSum prototype(kLevels, factory, proto_rng);
+  for (const PartitionPolicy policy : kMergePolicies) {
+    for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      IngestEngineOptions options;
+      options.policy = policy;
+      ShardedIngestor<RecursiveGSum> ingest(
+          options, [&prototype](size_t) { return prototype.Replicate(); });
+      ingest.Open(shards);
+      SubmitIrregular(ingest, stream);
+      const RecursiveGSum& merged = ingest.Close();
+      for (int l = 0; l <= kLevels; ++l) {
+        const auto& seq_level =
+            dynamic_cast<const GnpHeavyHitter&>(sequential.level_sketch(l));
+        const auto& mrg_level =
+            dynamic_cast<const GnpHeavyHitter&>(merged.level_sketch(l));
+        EXPECT_EQ(mrg_level.counters(), seq_level.counters())
+            << "level " << l << " policy " << static_cast<int>(policy)
+            << " shards " << shards;
+      }
+      EXPECT_DOUBLE_EQ(merged.Estimate(*g), sequential.Estimate(*g))
+          << "policy " << static_cast<int>(policy) << " shards " << shards;
+    }
+  }
+}
+
+TEST(IngestEngineTest, GSumEstimatorShardedProcessMatchesSequential) {
+  // GSumOptions-driven whole-stack sharding, one- and two-pass: Process()
+  // with parallel_ingest shards every repetition's full recursive stack
+  // across the engine (pass 2 replicating the frozen candidate tables),
+  // and in the no-pruning regime the median estimate is bit-identical to
+  // the sequential batched run at every shard count under both policies.
+  Rng workload_rng(217);
+  StreamShapeOptions shape;
+  shape.churn_pairs = 200;
+  const Workload w =
+      MakeUniformWorkload(1 << 8, 100, 1, 300, shape, workload_rng);
+
+  for (const int passes : {1, 2}) {
+    GSumOptions options;
+    options.passes = passes;
+    options.cs_buckets = 256;
+    options.candidates = 256;  // >= distinct items: no pruning anywhere
+    options.repetitions = 3;
+    GSumEstimator sequential(MakePower(2.0), w.stream.domain(), options);
+    const double seq = sequential.Process(w.stream);
+
+    for (const PartitionPolicy policy : kMergePolicies) {
+      for (const size_t shards :
+           {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+        options.parallel_ingest = true;
+        options.ingest_shards = shards;
+        options.ingest_policy = policy;
+        GSumEstimator parallel(MakePower(2.0), w.stream.domain(), options);
+        const double par = parallel.Process(w.stream);
+        EXPECT_DOUBLE_EQ(seq, par)
+            << "passes " << passes << " policy " << static_cast<int>(policy)
+            << " shards " << shards;
+        EXPECT_EQ(sequential.SpaceBytes(), parallel.SpaceBytes());
+      }
+    }
+  }
+}
+
+TEST(IngestEngineDeathTest, GSumShardedProcessRejectsPreFedState) {
+  // Whole-stack sharding replicates the stacks' current state into every
+  // shard, so updates fed incrementally before Process() would be counted
+  // once per shard at the fold -- the fresh-estimator precondition is
+  // checked, not silently violated.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  GSumOptions options;
+  options.repetitions = 1;
   options.parallel_ingest = true;
-  GSumEstimator parallel(MakePower(2.0), 1 << 12, options);
-  const double par = parallel.Process(stream);
-  EXPECT_DOUBLE_EQ(seq, par);
-  EXPECT_EQ(sequential.SpaceBytes(), parallel.SpaceBytes());
+  ASSERT_DEATH(
+      {
+        GSumEstimator estimator(MakePower(2.0), 1 << 10, options);
+        estimator.Update(7, 100);  // pre-fed incremental state
+        Stream tiny(1 << 10);
+        tiny.Append(1, 1);
+        estimator.Process(tiny);
+      },
+      "GSTREAM_CHECK");
+}
+
+TEST(IngestEngineDeathTest, GSumShardedProcessRejectsBroadcastPolicy) {
+  // Broadcast would feed every whole-stack replica the full stream and the
+  // close-time fold would multiply counts; Process() must refuse.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  GSumOptions options;
+  options.repetitions = 1;
+  options.parallel_ingest = true;
+  options.ingest_policy = PartitionPolicy::kBroadcast;
+  ASSERT_DEATH(
+      {
+        GSumEstimator estimator(MakePower(2.0), 1 << 10, options);
+        Stream tiny(1 << 10);
+        tiny.Append(1, 1);
+        estimator.Process(tiny);
+      },
+      "GSTREAM_CHECK");
 }
 
 TEST(IngestEngineTest, ExactFrequencySketchShardedBitIdenticalToSequential) {

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/gnp_sketch.h"
 #include "sketch/ams.h"
 #include "sketch/count_min.h"
 #include "sketch/count_sketch.h"
@@ -232,6 +233,93 @@ TEST(MergeDeathTest, TopKRejectsDifferentGeometry) {
   CountSketchTopK a(CountSketchOptions{3, 64}, 8, r1);
   CountSketchTopK b(CountSketchOptions{3, 128}, 8, r2);
   EXPECT_DEATH(a.MergeFrom(b), "GSTREAM_CHECK");
+}
+
+// The g_np sketch's signed-bit sums are linear per trial, so same-seed
+// shards must merge to exactly the monolithic counter state -- pinned by
+// independent recomputation (elementwise shard sum) AND against a
+// monolithic sketch, over random shard splits and fold-merges, mirroring
+// the candidate-union property test below.
+TEST(MergeTest, GnpShardedEqualsMonolithicOverRandomSplits) {
+  GnpSketchOptions geometry;
+  geometry.substreams = 32;
+  geometry.trials = 12;
+  geometry.id_bits = 12;
+  for (uint64_t trial = 0; trial < 4; ++trial) {
+    Rng workload_rng(9300 + trial);
+    StreamShapeOptions shape;
+    shape.churn_pairs = 150;
+    const Workload w = MakeZipfWorkload(1 << 12, 400, 1.2, 4000, shape,
+                                        workload_rng);
+    const size_t num_shards = 2 + trial % 4;  // 2..5 shards
+
+    Rng mono_rng(kSeed);
+    GnpHeavyHitter monolithic(geometry, mono_rng);
+    ProcessStream(monolithic, w.stream);
+
+    std::vector<GnpHeavyHitter> shards;
+    for (size_t s = 0; s < num_shards; ++s) {
+      Rng rng(kSeed);
+      shards.emplace_back(geometry, rng);
+    }
+    Rng split_rng(8800 + trial);
+    for (const Update& u : w.stream.updates()) {
+      shards[split_rng.UniformUint64(num_shards)].Update(u.item, u.delta);
+    }
+    // Independent recomputation: the shard counters must sum, elementwise,
+    // to the monolithic counters (linearity) before any merge runs.
+    std::vector<int64_t> summed(monolithic.counters().size(), 0);
+    for (const GnpHeavyHitter& shard : shards) {
+      for (size_t i = 0; i < summed.size(); ++i) {
+        summed[i] += shard.counters()[i];
+      }
+    }
+    EXPECT_EQ(summed, monolithic.counters()) << "trial " << trial;
+
+    for (size_t s = 1; s < num_shards; ++s) shards[0].MergeFrom(shards[s]);
+    EXPECT_EQ(shards[0].counters(), monolithic.counters())
+        << "trial " << trial;
+    EXPECT_EQ(shards[0].Fingerprint(), monolithic.Fingerprint());
+  }
+}
+
+TEST(MergeDeathTest, GnpRejectsDifferentSeeds) {
+  GnpSketchOptions geometry;
+  geometry.substreams = 16;
+  geometry.trials = 8;
+  geometry.id_bits = 10;
+  Rng r1(1), r2(2);
+  GnpHeavyHitter a(geometry, r1), b(geometry, r2);
+  EXPECT_DEATH(a.MergeFrom(b), "GSTREAM_CHECK");
+}
+
+TEST(MergeDeathTest, GnpRejectsDifferentSubstreams) {
+  GnpSketchOptions narrow, wide;
+  narrow.substreams = 16;
+  wide.substreams = 32;
+  Rng r1(kSeed), r2(kSeed);
+  GnpHeavyHitter a(narrow, r1), b(wide, r2);
+  EXPECT_DEATH(a.MergeFrom(b), "GSTREAM_CHECK");
+}
+
+TEST(MergeDeathTest, GnpRejectsDifferentTrials) {
+  GnpSketchOptions few, many;
+  few.trials = 8;
+  many.trials = 16;
+  Rng r1(kSeed), r2(kSeed);
+  GnpHeavyHitter a(few, r1), b(many, r2);
+  EXPECT_DEATH(a.MergeFrom(b), "GSTREAM_CHECK");
+}
+
+TEST(MergeDeathTest, GnpTypeErasedMergeRejectsForeignType) {
+  // The GHeavyHitterSketch-level merge must die on a dynamic-type
+  // mismatch, not reinterpret another sketch's counters.
+  GnpSketchOptions geometry;
+  Rng r1(kSeed);
+  GnpHeavyHitter gnp(geometry, r1);
+  ExactHeavyHitterSketch exact;
+  GHeavyHitterSketch& erased = gnp;
+  EXPECT_DEATH(erased.MergeFrom(exact), "GSTREAM_CHECK");
 }
 
 TEST(MergeTest, CountMinShardedEqualsMonolithic) {

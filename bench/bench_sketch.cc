@@ -1,12 +1,17 @@
 // The sketch-throughput benchmark behind BENCH_sketch.json.
 //
 // Measures the stream->sketch hot path on a Zipfian turnstile stream for
-// every sketch in the library, in three variants each:
-//   * seed_single -- a frozen replica of the pre-batching per-update loop
+// every sketch in the library, in four variants each:
+//   * seed_single  -- a frozen replica of the pre-batching per-update loop
 //     (one hash object per row, hardware `%` bucket reduction), kept here
 //     so future PRs always compare against the original baseline;
-//   * single      -- the current Update() path (SoA banks + fastrange);
-//   * batched     -- UpdateBatch() driven by Stream::ForEachBatch.
+//   * single       -- the current Update() path (SoA banks + fastrange);
+//   * batched      -- UpdateBatch() driven by Stream::ForEachBatch, with
+//     the kernel layer pinned to the scalar reference tier
+//     (ForceIsaTier), so the number is comparable across hosts and to the
+//     pre-SIMD trajectory;
+//   * batched_simd -- the same batched path under CPUID dispatch (the
+//     best tier this host runs; recorded as workload.isa_tier).
 // plus the end-to-end one-pass g-sum pipeline (single vs batched), the
 // one-pass heavy hitter sequential vs engine-fed (`one_pass_hh/batched`
 // vs `one_pass_hh/sharded{1,4}`, exercising the candidate-union merge),
@@ -24,6 +29,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/harness.h"
@@ -40,6 +46,7 @@
 #include "stream/stream.h"
 #include "util/hash.h"
 #include "util/random.h"
+#include "util/simd/simd_dispatch.h"
 
 namespace gstream {
 namespace {
@@ -180,6 +187,43 @@ class SeedAms {
 // updates carrying turnstile deltas in [-3, 3] instead of +1.
 // ---------------------------------------------------------------------------
 
+// First "model name" line of /proc/cpuinfo, or "unknown" -- recorded in
+// the JSON workload metadata so BENCH numbers are comparable across hosts.
+std::string CpuModelString() {
+  FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return "unknown";
+  char line[256];
+  std::string model = "unknown";
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "model name", 10) == 0) {
+      const char* colon = std::strchr(line, ':');
+      if (colon != nullptr) {
+        const char* start = colon + 1;
+        while (*start == ' ' || *start == '\t') ++start;
+        model = start;
+        while (!model.empty() &&
+               (model.back() == '\n' || model.back() == '\r')) {
+          model.pop_back();
+        }
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return model;
+}
+
+// Runs `fn` with the kernel layer pinned to the scalar reference tier,
+// restoring CPUID dispatch afterwards.
+template <typename Fn>
+BenchResult MeasureScalarTier(const std::string& name, size_t updates,
+                              size_t repeats, Fn&& fn) {
+  simd::ForceIsaTier(simd::IsaTier::kScalar);
+  BenchResult result = Measure(name, updates, repeats, std::forward<Fn>(fn));
+  simd::ClearForcedIsaTier();
+  return result;
+}
+
 Stream MakeZipfStream(size_t updates, Rng& rng) {
   std::vector<double> cdf(kItems);
   double total = 0.0;
@@ -270,6 +314,8 @@ int Run(int argc, char** argv) {
 
   BenchReport report;
   report.SetWorkload(cs_updates, kDomain, kItems, kZipf);
+  report.SetEnvironment(simd::IsaTierName(simd::ActiveIsaTier()),
+                        CpuModelString());
   const size_t repeats = 5;
 
   // CountSketch (rows 5, buckets 1024).
@@ -284,11 +330,18 @@ int Run(int argc, char** argv) {
     CountSketch cs(CountSketchOptions{5, 1024}, rng);
     return DriveSingle(cs, stream);
   }));
-  report.Add(Measure("count_sketch/batched", stream.length(), repeats, [&] {
+  // One shared body per batched/batched_simd pair: the speedup keys and
+  // the CI assertions rest on the two variants running *identical* code
+  // under different kernel tiers, so the identity is kept structural.
+  const auto run_cs_batched = [&] {
     Rng rng(1);
     CountSketch cs(CountSketchOptions{5, 1024}, rng);
     return DriveBatched(cs, stream);
-  }));
+  };
+  report.Add(MeasureScalarTier("count_sketch/batched", stream.length(),
+                               repeats, run_cs_batched));
+  report.Add(Measure("count_sketch/batched_simd", stream.length(), repeats,
+                     run_cs_batched));
 
   // Sharded ingestion engine scaling (1/2/4/8 workers, round-robin chunks,
   // plus hash-by-item at 4): the full Open -> Submit -> Close -> merge
@@ -328,11 +381,15 @@ int Run(int argc, char** argv) {
     CountMinSketch cm(CountMinOptions{5, 1024}, rng);
     return DriveSingle(cm, stream);
   }));
-  report.Add(Measure("count_min/batched", stream.length(), repeats, [&] {
+  const auto run_cm_batched = [&] {
     Rng rng(2);
     CountMinSketch cm(CountMinOptions{5, 1024}, rng);
     return DriveBatched(cm, stream);
-  }));
+  };
+  report.Add(MeasureScalarTier("count_min/batched", stream.length(), repeats,
+                               run_cm_batched));
+  report.Add(Measure("count_min/batched_simd", stream.length(), repeats,
+                     run_cm_batched));
 
   // AMS (16 x 5 estimators).
   report.Add(Measure("ams/seed_single", ams_stream.length(), repeats, [&] {
@@ -345,11 +402,15 @@ int Run(int argc, char** argv) {
     AmsSketch ams(AmsOptions{16, 5}, rng);
     return DriveSingle(ams, ams_stream);
   }));
-  report.Add(Measure("ams/batched", ams_stream.length(), repeats, [&] {
+  const auto run_ams_batched = [&] {
     Rng rng(3);
     AmsSketch ams(AmsOptions{16, 5}, rng);
     return DriveBatched(ams, ams_stream);
-  }));
+  };
+  report.Add(MeasureScalarTier("ams/batched", ams_stream.length(), repeats,
+                               run_ams_batched));
+  report.Add(Measure("ams/batched_simd", ams_stream.length(), repeats,
+                     run_ams_batched));
 
   // g_np sketch (64 substreams, 24 trials, 20 id bits).
   GnpSketchOptions gnp_options;
@@ -454,19 +515,33 @@ int Run(int argc, char** argv) {
 
   report.AddSpeedup("count_sketch_batched_vs_seed", "count_sketch/batched",
                     "count_sketch/seed_single");
-  report.AddSpeedup("count_sketch_sharded2_vs_batched",
-                    "count_sketch/sharded2", "count_sketch/batched");
-  report.AddSpeedup("count_sketch_sharded4_vs_batched",
-                    "count_sketch/sharded4", "count_sketch/batched");
-  report.AddSpeedup("count_sketch_sharded8_vs_batched",
-                    "count_sketch/sharded8", "count_sketch/batched");
+  // The SIMD dispatch win: identical batched code, scalar tier vs the best
+  // tier this host runs (>= 1.0 by construction; ~1.7x on AVX-512 IFMA).
+  report.AddSpeedup("count_sketch_batched_simd_vs_batched",
+                    "count_sketch/batched_simd", "count_sketch/batched");
+  report.AddSpeedup("count_min_batched_simd_vs_batched",
+                    "count_min/batched_simd", "count_min/batched");
+  report.AddSpeedup("ams_batched_simd_vs_batched", "ams/batched_simd",
+                    "ams/batched");
+  // Engine overhead ratios compare like with like: the sharded workers run
+  // the dispatched kernels, so the denominator is batched_simd -- and the
+  // key names say so (the pre-SIMD *_vs_batched series ended with PR 4;
+  // a renamed key beats one that silently changed meaning).
+  report.AddSpeedup("count_sketch_sharded2_vs_batched_simd",
+                    "count_sketch/sharded2", "count_sketch/batched_simd");
+  report.AddSpeedup("count_sketch_sharded4_vs_batched_simd",
+                    "count_sketch/sharded4", "count_sketch/batched_simd");
+  report.AddSpeedup("count_sketch_sharded8_vs_batched_simd",
+                    "count_sketch/sharded8", "count_sketch/batched_simd");
   report.AddSpeedup("count_sketch_sharded4_vs_seed", "count_sketch/sharded4",
                     "count_sketch/seed_single");
-  report.AddSpeedup("count_sketch_sharded4_hash_vs_batched",
-                    "count_sketch/sharded4_hash", "count_sketch/batched");
+  report.AddSpeedup("count_sketch_sharded4_hash_vs_batched_simd",
+                    "count_sketch/sharded4_hash", "count_sketch/batched_simd");
   report.AddSpeedup("count_sketch_single_vs_seed", "count_sketch/single",
                     "count_sketch/seed_single");
   report.AddSpeedup("count_min_batched_vs_seed", "count_min/batched",
+                    "count_min/seed_single");
+  report.AddSpeedup("count_min_single_vs_seed", "count_min/single",
                     "count_min/seed_single");
   report.AddSpeedup("ams_batched_vs_seed", "ams/batched", "ams/seed_single");
   report.AddSpeedup("gnp_batched_vs_single", "gnp/batched", "gnp/single");

@@ -42,6 +42,12 @@ void BenchReport::SetWorkload(size_t updates, uint64_t domain, size_t items,
   workload_zipf_ = zipf_exponent;
 }
 
+void BenchReport::SetEnvironment(const std::string& isa_tier,
+                                 const std::string& cpu_model) {
+  isa_tier_ = isa_tier;
+  cpu_model_ = cpu_model;
+}
+
 void BenchReport::Add(BenchResult result) {
   results_.push_back(std::move(result));
 }
@@ -88,9 +94,11 @@ bool BenchReport::WriteJson(const std::string& path) const {
   std::fprintf(f, "{\n  \"schema\": \"gstream-bench-v1\",\n");
   std::fprintf(f,
                "  \"workload\": {\"updates\": %zu, \"domain\": %" PRIu64
-               ", \"items\": %zu, \"zipf_exponent\": %.3f},\n",
+               ", \"items\": %zu, \"zipf_exponent\": %.3f, "
+               "\"isa_tier\": \"%s\", \"cpu_model\": \"%s\"},\n",
                workload_updates_, workload_domain_, workload_items_,
-               workload_zipf_);
+               workload_zipf_, JsonEscape(isa_tier_).c_str(),
+               JsonEscape(cpu_model_).c_str());
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < results_.size(); ++i) {
     const BenchResult& r = results_[i];

@@ -7,7 +7,8 @@
 //   {
 //     "schema": "gstream-bench-v1",
 //     "workload": {"updates": ..., "domain": ..., "items": ...,
-//                  "zipf_exponent": ...},
+//                  "zipf_exponent": ..., "isa_tier": "avx512",
+//                  "cpu_model": "..."},
 //     "results": [
 //       {"name": "count_sketch/batched", "updates": N, "seconds": s,
 //        "updates_per_sec": N/s, "space_bytes": B}, ...
@@ -65,6 +66,12 @@ class BenchReport {
   void SetWorkload(size_t updates, uint64_t domain, size_t items,
                    double zipf_exponent);
 
+  // Host environment recorded alongside the workload: the dispatched SIMD
+  // tier ("scalar"/"avx2"/"avx512") and the CPU model string, so
+  // BENCH_sketch.json numbers are comparable across hosts.
+  void SetEnvironment(const std::string& isa_tier,
+                      const std::string& cpu_model);
+
   void Add(BenchResult result);
 
   // Records speedups[key] = updates_per_sec(numerator) /
@@ -91,6 +98,8 @@ class BenchReport {
   uint64_t workload_domain_ = 0;
   size_t workload_items_ = 0;
   double workload_zipf_ = 0.0;
+  std::string isa_tier_ = "unknown";
+  std::string cpu_model_ = "unknown";
   std::vector<BenchResult> results_;
   std::vector<std::pair<std::string, double>> speedups_;
 };

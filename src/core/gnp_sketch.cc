@@ -1,10 +1,13 @@
 #include "core/gnp_sketch.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 
 #include "util/bit.h"
 #include "util/logging.h"
+#include "util/simd/simd_dispatch.h"
 
 namespace gstream {
 namespace {
@@ -21,6 +24,9 @@ int LowBitOrMinus1(int64_t m) {
 GnpHeavyHitter::GnpHeavyHitter(const GnpSketchOptions& options, Rng& rng)
     : options_(options) {
   GSTREAM_CHECK_GE(options.substreams, 1u);
+  // The SIMD fastrange kernel assembles h * range from 32-bit partial
+  // products, so the substream range must fit in 32 bits.
+  GSTREAM_CHECK_LT(options.substreams, uint64_t{1} << 32);
   GSTREAM_CHECK_GE(options.trials, 2u);
   GSTREAM_CHECK_GE(options.id_bits, 1);
   GSTREAM_CHECK_LE(options.id_bits, 62);
@@ -102,26 +108,52 @@ void GnpHeavyHitter::UpdateBatch(const gstream::Update* updates, size_t n) {
   const uint64_t id_mask = (options_.id_bits >= 64)
                                ? ~uint64_t{0}
                                : ((uint64_t{1} << options_.id_bits) - 1);
-  // Item-major: an item's sampled trials all write inside its substream's
-  // contiguous trials*slots region, so the chunk streams through the
-  // counter array once instead of once per trial.  The trial coefficients
-  // (2 * trials words) stay L1-resident across items.
-  const uint64_t* __restrict ta0 = t0_.data();
-  const uint64_t* __restrict ta1 = t1_.data();
   const size_t trials = options_.trials;
-  for (size_t i = 0; i < n; ++i) {
-    const uint64_t xm = ReduceToField(updates[i].item);
-    const int64_t delta = updates[i].delta;
-    const uint64_t masked_id = updates[i].item & id_mask;
-    int64_t* sub_base = counters_.data() + SubstreamOf(xm) * trials * slots;
+  if (trials > 64) {
+    // The packed trial masks below hold one bit per trial; configurations
+    // beyond 64 trials (never used in practice) take the per-update path.
+    for (size_t i = 0; i < n; ++i) Update(updates[i].item, updates[i].delta);
+    return;
+  }
+  // Three vectorized hash passes per L1-resident block through the
+  // dispatched SIMD layer -- substream hash, substream fastrange, and one
+  // lane-parallel parity pass per trial packing the sampling indicators
+  // into a per-item bitmask -- then one scalar scatter that walks only the
+  // set bits.  The per-trial hashing this replaces was the entire gap
+  // between gnp/batched and gnp/single (trials x MulAddMod61 per item).
+  // Parities and substreams are derived from the same canonical values as
+  // Update's TrialSampled/SubstreamOf, so counters stay bit-identical.
+  const simd::SimdOps& ops = simd::Ops();
+  const uint64_t* ta0 = t0_.data();
+  const uint64_t* ta1 = t1_.data();
+  alignas(64) uint64_t xm[simd::kSimdBlock];
+  alignas(64) uint64_t masks[simd::kSimdBlock];
+  alignas(64) int64_t delta[simd::kSimdBlock];
+  alignas(64) uint32_t sub[simd::kSimdBlock];
+  for (size_t base = 0; base < n; base += simd::kSimdBlock) {
+    const size_t m = std::min(simd::kSimdBlock, n - base);
+    ops.prepare_batch2(updates + base, m, xm, delta);
+    ops.eval2_bucket(s0_, s1_, xm, options_.substreams, m, sub);
+    std::memset(masks, 0, m * sizeof(uint64_t));
     for (size_t t = 0; t < trials; ++t) {
-      if ((MulAddMod61(ta1[t], xm, ta0[t]) & 1) == 0) continue;
-      int64_t* base = sub_base + t * slots;
-      base[0] += delta;
-      uint64_t bits = masked_id;
-      while (bits != 0) {
-        base[1 + LowestSetBit(bits)] += delta;
-        bits &= bits - 1;
+      ops.eval2_parity_or(ta0[t], ta1[t], xm, m, static_cast<unsigned>(t),
+                          masks);
+    }
+    for (size_t i = 0; i < m; ++i) {
+      uint64_t sampled = masks[i];
+      if (sampled == 0) continue;
+      const int64_t d = delta[i];
+      const uint64_t masked_id = updates[base + i].item & id_mask;
+      int64_t* sub_base = counters_.data() + sub[i] * trials * slots;
+      while (sampled != 0) {
+        int64_t* cell = sub_base + LowestSetBit(sampled) * slots;
+        cell[0] += d;
+        uint64_t bits = masked_id;
+        while (bits != 0) {
+          cell[1 + LowestSetBit(bits)] += d;
+          bits &= bits - 1;
+        }
+        sampled &= sampled - 1;
       }
     }
   }

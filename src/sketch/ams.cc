@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/simd/simd_dispatch.h"
 
 namespace gstream {
 
@@ -46,42 +47,29 @@ void AmsSketch::Update(ItemId item, int64_t delta) {
 }
 
 void AmsSketch::UpdateBatch(const gstream::Update* updates, size_t n) {
-  if (n == 0) return;
-  if (xm_scratch_.size() < n) {
-    xm_scratch_.resize(n);
-    x2_scratch_.resize(n);
-    x3_scratch_.resize(n);
-    delta_scratch_.resize(n);
-  }
-  // One restrict pointer per scratch array, shared by the precompute and
-  // estimator loops (mixing two restrict pointers to one array is UB).
-  uint64_t* __restrict xm_s = xm_scratch_.data();
-  uint64_t* __restrict x2_s = x2_scratch_.data();
-  uint64_t* __restrict x3_s = x3_scratch_.data();
-  int64_t* __restrict delta_s = delta_scratch_.data();
-  // Per-item field powers, computed once and shared by every estimator.
-  for (size_t i = 0; i < n; ++i) {
-    FieldPowers3Lazy(updates[i].item, &xm_s[i], &x2_s[i], &x3_s[i]);
-    delta_s[i] = updates[i].delta;
-  }
+  // Estimator-major over L1-resident blocks through the dispatched SIMD
+  // layer: the per-item field powers are computed once per block, then
+  // each estimator's fused eval4 + signed-accumulate kernel sweeps the
+  // block with its four coefficients broadcast across lanes.  int64
+  // wraparound addition is associative, so the per-block partial sums
+  // leave sums_ bit-identical to the sequential loop under any tier.
+  const simd::SimdOps& ops = simd::Ops();
   const uint64_t* c0 = sign_bank_.DegreeCoeffs(0);
   const uint64_t* c1 = sign_bank_.DegreeCoeffs(1);
   const uint64_t* c2 = sign_bank_.DegreeCoeffs(2);
   const uint64_t* c3 = sign_bank_.DegreeCoeffs(3);
-  // Estimator-major: one estimator's four coefficients stay in registers
-  // while its running sum accumulates over the whole chunk.
-  for (size_t e = 0; e < sums_.size(); ++e) {
-    const uint64_t b0 = c0[e];
-    const uint64_t b1 = c1[e];
-    const uint64_t b2 = c2[e];
-    const uint64_t b3 = c3[e];
-    int64_t z = sums_[e];
-    for (size_t i = 0; i < n; ++i) {
-      const uint64_t s =
-          Eval4Wise(b0, b1, b2, b3, xm_s[i], x2_s[i], x3_s[i]);
-      z += (s & 1) ? delta_s[i] : -delta_s[i];
+  alignas(64) uint64_t xm[simd::kSimdBlock];
+  alignas(64) uint64_t x2[simd::kSimdBlock];
+  alignas(64) uint64_t x3[simd::kSimdBlock];
+  alignas(64) int64_t delta[simd::kSimdBlock];
+  for (size_t base = 0; base < n; base += simd::kSimdBlock) {
+    const size_t m = std::min(simd::kSimdBlock, n - base);
+    ops.prepare_batch(updates + base, m, xm, x2, x3, delta);
+    for (size_t e = 0; e < sums_.size(); ++e) {
+      sums_[e] +=
+          ops.eval4_signed_sum(c0[e], c1[e], c2[e], c3[e], xm, x2, x3,
+                               delta, m);
     }
-    sums_[e] = z;
   }
 }
 

@@ -7,11 +7,12 @@
 // Var[Z^2] <= 2 F2^2.  With group_size = O(1/eps^2) and groups = O(log
 // 1/delta) the estimate is within (1 +- eps) F2 with probability 1 - delta.
 //
-// The sign hashes live in one structure-of-arrays KWiseHashBank so the
-// batched update kernel walks (estimator x chunk) with each estimator's
-// four coefficients in registers; update and query paths are
-// allocation-free in steady state because the scratch buffers are members,
-// which also means queries are not thread-safe (EstimateF2 mutates its
+// The sign hashes live in one structure-of-arrays KWiseHashBank and the
+// batched update kernel walks (estimator x block) through the dispatched
+// SIMD layer (util/simd/): each estimator's four coefficients broadcast
+// across lanes over the block's shared field powers, fused with the
+// signed-delta accumulation.  Updates are allocation-free (stack-array
+// blocking); queries are not thread-safe (EstimateF2 mutates its member
 // median scratch).
 
 #ifndef GSTREAM_SKETCH_AMS_H_
@@ -61,10 +62,6 @@ class AmsSketch : public LinearSketch {
   KWiseHashBank sign_bank_;    // group_size * groups rows, 4-wise
   std::vector<int64_t> sums_;  // Z per estimator
   uint64_t hash_fingerprint_ = 0;
-  std::vector<uint64_t> xm_scratch_;   // batch item powers mod p
-  std::vector<uint64_t> x2_scratch_;
-  std::vector<uint64_t> x3_scratch_;
-  std::vector<int64_t> delta_scratch_;  // batch deltas, densely packed
   mutable std::vector<double> mean_scratch_;  // median-of-means decode
 };
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/logging.h"
+#include "util/simd/simd_dispatch.h"
 
 namespace gstream {
 
@@ -12,6 +13,9 @@ CountMinSketch::CountMinSketch(const CountMinOptions& options, Rng& rng)
       bucket_bank_(/*k=*/2, std::max<size_t>(options.rows, 1), rng) {
   GSTREAM_CHECK_GE(options.rows, 1u);
   GSTREAM_CHECK_GE(options.buckets, 1u);
+  // The SIMD fastrange kernel assembles h * range from 32-bit partial
+  // products, so the bucket range must fit in 32 bits.
+  GSTREAM_CHECK_LT(options.buckets, uint64_t{1} << 32);
   counters_.assign(options.rows * options.buckets, 0);
   row_scratch_.resize(options.rows);
   uint64_t fp = 0xcbf29ce484222325ULL;
@@ -35,47 +39,44 @@ void CountMinSketch::MergeFrom(const CountMinSketch& other) {
 }
 
 void CountMinSketch::Update(ItemId item, int64_t delta) {
+  // Per-row cost budget: one specialized Eval2Wise (64-bit-only reduction,
+  // no generic 128-bit fold chain) plus one fastrange, with the SoA
+  // coefficient pointers hoisted out of the row loop -- this is what keeps
+  // the per-update path ahead of the seed baseline (bench
+  // `count_min/single` vs `count_min/seed_single`).  Eval2Wise returns the
+  // same canonical value as EvalRow, so all decode and fingerprint paths
+  // agree bit-for-bit.
   const uint64_t xm = ReduceToFieldLazy(item);
   const size_t b = options_.buckets;
+  const uint64_t* h0 = bucket_bank_.DegreeCoeffs(0);
+  const uint64_t* h1 = bucket_bank_.DegreeCoeffs(1);
+  int64_t* __restrict counters = counters_.data();
   for (size_t j = 0; j < options_.rows; ++j) {
-    counters_[j * b + FastRange61(bucket_bank_.EvalRow(j, xm), b)] += delta;
+    counters[j * b + FastRange61(Eval2Wise(h0[j], h1[j], xm), b)] += delta;
   }
 }
 
 void CountMinSketch::UpdateBatch(const gstream::Update* updates, size_t n) {
-  if (n == 0) return;
-  if (xm_scratch_.size() < n) {
-    xm_scratch_.resize(n);
-    delta_scratch_.resize(n);
-    idx_scratch_.resize(n);
-  }
-  // One restrict pointer per scratch array, shared by the writing and
-  // reading loops so every access to a scratch object is based on the same
-  // restrict pointer (mixing two restrict pointers to one array is UB).
-  uint64_t* __restrict xm_s = xm_scratch_.data();
-  int64_t* __restrict delta_s = delta_scratch_.data();
-  uint32_t* __restrict idx_s = idx_scratch_.data();
-  for (size_t i = 0; i < n; ++i) {
-    xm_s[i] = ReduceToFieldLazy(updates[i].item);
-    delta_s[i] = updates[i].delta;
-  }
+  // Blocked hash/reduce/scatter passes through the dispatched SIMD layer;
+  // see CountSketch::UpdateBatch for the structure.  Count-Min needs no
+  // field powers (2-wise rows), so the precompute is a plain deinterleave.
+  const simd::SimdOps& ops = simd::Ops();
   const size_t b = options_.buckets;
-  const int brs = FastRange61Shift(b);  // exact shift form for pow-2 b
+  const size_t rows = options_.rows;
   const uint64_t* h0 = bucket_bank_.DegreeCoeffs(0);
   const uint64_t* h1 = bucket_bank_.DegreeCoeffs(1);
-  // Hash phase then scatter phase per row; see CountSketch::UpdateBatch for
-  // why the phases are split and __restrict-qualified.
-  for (size_t j = 0; j < options_.rows; ++j) {
-    const uint64_t a0 = h0[j];
-    const uint64_t a1 = h1[j];
-    for (size_t i = 0; i < n; ++i) {
-      const uint64_t h = MulAddMod61(a1, xm_s[i], a0);
-      idx_s[i] = static_cast<uint32_t>(brs >= 0 ? (h >> brs)
-                                                : FastRange61(h, b));
-    }
-    int64_t* __restrict row = counters_.data() + j * b;
-    for (size_t i = 0; i < n; ++i) {
-      row[idx_s[i]] += delta_s[i];
+  alignas(64) uint64_t xm[simd::kSimdBlock];
+  alignas(64) int64_t delta[simd::kSimdBlock];
+  alignas(64) uint32_t idx[simd::kSimdBlock];
+  for (size_t base = 0; base < n; base += simd::kSimdBlock) {
+    const size_t m = std::min(simd::kSimdBlock, n - base);
+    ops.prepare_batch2(updates + base, m, xm, delta);
+    for (size_t j = 0; j < rows; ++j) {
+      ops.eval2_bucket(h0[j], h1[j], xm, b, m, idx);
+      int64_t* __restrict row = counters_.data() + j * b;
+      for (size_t i = 0; i < m; ++i) {
+        row[idx[i]] += delta[i];
+      }
     }
   }
 }
@@ -83,10 +84,13 @@ void CountMinSketch::UpdateBatch(const gstream::Update* updates, size_t n) {
 int64_t CountMinSketch::EstimateMin(ItemId item) const {
   const uint64_t xm = ReduceToFieldLazy(item);
   const size_t b = options_.buckets;
+  const uint64_t* h0 = bucket_bank_.DegreeCoeffs(0);
+  const uint64_t* h1 = bucket_bank_.DegreeCoeffs(1);
   int64_t best = std::numeric_limits<int64_t>::max();
   for (size_t j = 0; j < options_.rows; ++j) {
     best = std::min(
-        best, counters_[j * b + FastRange61(bucket_bank_.EvalRow(j, xm), b)]);
+        best,
+        counters_[j * b + FastRange61(Eval2Wise(h0[j], h1[j], xm), b)]);
   }
   return best;
 }
@@ -94,9 +98,11 @@ int64_t CountMinSketch::EstimateMin(ItemId item) const {
 int64_t CountMinSketch::EstimateMedian(ItemId item) const {
   const uint64_t xm = ReduceToFieldLazy(item);
   const size_t b = options_.buckets;
+  const uint64_t* h0 = bucket_bank_.DegreeCoeffs(0);
+  const uint64_t* h1 = bucket_bank_.DegreeCoeffs(1);
   for (size_t j = 0; j < options_.rows; ++j) {
     row_scratch_[j] =
-        counters_[j * b + FastRange61(bucket_bank_.EvalRow(j, xm), b)];
+        counters_[j * b + FastRange61(Eval2Wise(h0[j], h1[j], xm), b)];
   }
   std::nth_element(
       row_scratch_.begin(),

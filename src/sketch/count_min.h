@@ -3,9 +3,12 @@
 // micro-benchmarks (experiment E9).
 //
 // r x b counters with pairwise bucket hashes held in a structure-of-arrays
-// KWiseHashBank, giving the same allocation-free batched update kernel as
-// CountSketch (and the same caveat: query scratch lives in mutable
-// members, so queries are not thread-safe).  In the insertion-only model
+// KWiseHashBank; the batched update kernel runs through the dispatched
+// SIMD layer (util/simd/) with the same blocked hash/reduce/scatter
+// structure as CountSketch, and the per-update path uses the specialized
+// Eval2Wise reduction with the row coefficients hoisted out of the loop
+// (the same caveat applies: query scratch lives in mutable members, so
+// queries are not thread-safe).  In the insertion-only model
 // EstimateMin overestimates by at most F1/b with probability 1-2^{-r}; in
 // the general turnstile model EstimateMedian is the appropriate decode.
 
@@ -49,14 +52,15 @@ class CountMinSketch : public LinearSketch {
   // batch/single equivalence tests.
   const std::vector<int64_t>& counters() const { return counters_; }
 
+  // The hash-coefficient fingerprint that guards MergeFrom; see
+  // CountSketch::Fingerprint.
+  uint64_t Fingerprint() const { return hash_fingerprint_; }
+
  private:
   CountMinOptions options_;
   KWiseHashBank bucket_bank_;  // one row each, 2-wise
   std::vector<int64_t> counters_;
   uint64_t hash_fingerprint_ = 0;
-  std::vector<uint64_t> xm_scratch_;   // batch item reductions
-  std::vector<int64_t> delta_scratch_;  // batch deltas, densely packed
-  std::vector<uint32_t> idx_scratch_;  // per-row bucket indices
   mutable std::vector<int64_t> row_scratch_;  // median decode
 };
 

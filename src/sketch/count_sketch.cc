@@ -1,9 +1,11 @@
 #include "sketch/count_sketch.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdlib>
 
 #include "util/logging.h"
+#include "util/simd/simd_dispatch.h"
 
 namespace gstream {
 namespace {
@@ -34,6 +36,9 @@ CountSketch::CountSketch(const CountSketchOptions& options, Rng& rng)
       hash_bank_(/*k=*/4, std::max<size_t>(options.rows, 1), rng) {
   GSTREAM_CHECK_GE(options.rows, 1u);
   GSTREAM_CHECK_GE(options.buckets, 1u);
+  // The SIMD fastrange kernel assembles h * range from 32-bit partial
+  // products, so the bucket range must fit in 32 bits.
+  GSTREAM_CHECK_LT(options.buckets, uint64_t{1} << 32);
   counters_.assign(options.rows * options.buckets, 0);
   row_scratch_.resize(options.rows);
   f2_scratch_.resize(options.rows);
@@ -71,91 +76,37 @@ void CountSketch::Update(ItemId item, int64_t delta) {
 }
 
 void CountSketch::UpdateBatch(const gstream::Update* updates, size_t n) {
-  if (n == 0) return;
-  if (xm_scratch_.size() < n) {
-    xm_scratch_.resize(n);
-    x2_scratch_.resize(n);
-    x3_scratch_.resize(n);
-    delta_scratch_.resize(n);
-  }
+  // Blocked three-pass kernel over the dispatched SIMD layer: per
+  // L1-resident block, (1) deinterleave the chunk and precompute the
+  // shared per-item field powers, then per row (2) evaluate the row's
+  // 4-wise polynomial lane-parallel and reduce to buckets, and (3)
+  // scatter the signed deltas.  All staging lives in stack arrays (6 x
+  // 512 x 8 B), and every tier produces the same canonical hashes, so the
+  // counters are bit-identical to the sequential Update loop under any
+  // dispatch.
+  const simd::SimdOps& ops = simd::Ops();
   const size_t b = options_.buckets;
   const size_t rows = options_.rows;
-  // Power-of-two bucket counts admit an exact shift form of FastRange61;
-  // the ternary below is loop-invariant, so -O3 unswitches each hot loop
-  // into a shift version and a multiply version.
-  const int brs = FastRange61Shift(b);
-  const auto bucket_of = [brs, b](uint64_t h) {
-    return brs >= 0 ? (h >> brs) : FastRange61(h, b);
-  };
   const uint64_t* d0 = hash_bank_.DegreeCoeffs(0);
   const uint64_t* d1 = hash_bank_.DegreeCoeffs(1);
   const uint64_t* d2 = hash_bank_.DegreeCoeffs(2);
   const uint64_t* d3 = hash_bank_.DegreeCoeffs(3);
-  // Row-major over the chunk, two rows per pass: both rows' coefficients
-  // stay in registers, each item's powers are loaded once per pass instead
-  // of once per row, and the two independent Eval4Wise chains interleave
-  // in the pipeline.  The first pass computes the per-item field powers in
-  // registers (storing them for the later passes), so the chunk needs no
-  // separate precompute sweep.  The __restrict qualifiers tell the
-  // compiler the scratch streams don't alias the counters (same-width
-  // signed/unsigned pointers otherwise would), so the counter stores never
-  // serialize the hash math.
-  // One restrict pointer per scratch array, used for both the pass-1
-  // stores and the later passes' loads: every access to a scratch object
-  // is based on the same restrict pointer, which is what keeps the
-  // no-alias assertion well-defined.
-  uint64_t* __restrict xm_s = xm_scratch_.data();
-  uint64_t* __restrict x2_s = x2_scratch_.data();
-  uint64_t* __restrict x3_s = x3_scratch_.data();
-  int64_t* __restrict delta_s = delta_scratch_.data();
-  {
-    const uint64_t a0 = d0[0], a1 = d1[0], a2 = d2[0], a3 = d3[0];
-    const size_t jb = rows >= 2 ? 1 : 0;  // second row of the first pass
-    const uint64_t e0 = d0[jb], e1 = d1[jb], e2 = d2[jb], e3 = d3[jb];
-    int64_t* __restrict row_a = counters_.data();
-    int64_t* __restrict row_b = counters_.data() + jb * b;
-    for (size_t i = 0; i < n; ++i) {
-      uint64_t xm, x2, x3;
-      FieldPowers3Lazy(updates[i].item, &xm, &x2, &x3);
-      const int64_t delta = updates[i].delta;
-      xm_s[i] = xm;
-      x2_s[i] = x2;
-      x3_s[i] = x3;
-      delta_s[i] = delta;
-      const uint64_t ha = Eval4Wise(a0, a1, a2, a3, xm, x2, x3);
-      row_a[bucket_of(ha)] += (ha & 1) ? delta : -delta;
-      if (rows >= 2) {
-        const uint64_t hb = Eval4Wise(e0, e1, e2, e3, xm, x2, x3);
-        row_b[bucket_of(hb)] += (hb & 1) ? delta : -delta;
+  alignas(64) uint64_t xm[simd::kSimdBlock];
+  alignas(64) uint64_t x2[simd::kSimdBlock];
+  alignas(64) uint64_t x3[simd::kSimdBlock];
+  alignas(64) int64_t sd[simd::kSimdBlock];
+  alignas(64) int64_t delta[simd::kSimdBlock];
+  alignas(64) uint32_t idx[simd::kSimdBlock];
+  for (size_t base = 0; base < n; base += simd::kSimdBlock) {
+    const size_t m = std::min(simd::kSimdBlock, n - base);
+    ops.prepare_batch(updates + base, m, xm, x2, x3, delta);
+    for (size_t j = 0; j < rows; ++j) {
+      ops.eval4_bucket(d0[j], d1[j], d2[j], d3[j], xm, x2, x3, delta, b, m,
+                       idx, sd);
+      int64_t* __restrict row = counters_.data() + j * b;
+      for (size_t i = 0; i < m; ++i) {
+        row[idx[i]] += sd[i];
       }
-    }
-  }
-  size_t j = rows >= 2 ? 2 : 1;
-  for (; j + 1 < rows; j += 2) {
-    const uint64_t a0 = d0[j], a1 = d1[j], a2 = d2[j], a3 = d3[j];
-    const uint64_t e0 = d0[j + 1], e1 = d1[j + 1], e2 = d2[j + 1],
-                   e3 = d3[j + 1];
-    int64_t* __restrict row_a = counters_.data() + j * b;
-    int64_t* __restrict row_b = counters_.data() + (j + 1) * b;
-    for (size_t i = 0; i < n; ++i) {
-      const uint64_t xm = xm_s[i];
-      const uint64_t x2 = x2_s[i];
-      const uint64_t x3 = x3_s[i];
-      const int64_t delta = delta_s[i];
-      const uint64_t ha = Eval4Wise(a0, a1, a2, a3, xm, x2, x3);
-      const uint64_t hb = Eval4Wise(e0, e1, e2, e3, xm, x2, x3);
-      row_a[bucket_of(ha)] += (ha & 1) ? delta : -delta;
-      row_b[bucket_of(hb)] += (hb & 1) ? delta : -delta;
-    }
-  }
-  if (j < rows) {
-    const uint64_t a0 = d0[j], a1 = d1[j], a2 = d2[j], a3 = d3[j];
-    int64_t* __restrict row = counters_.data() + j * b;
-    for (size_t i = 0; i < n; ++i) {
-      const uint64_t h = Eval4Wise(a0, a1, a2, a3, xm_s[i], x2_s[i],
-                                   x3_s[i]);
-      const int64_t delta = delta_s[i];
-      row[bucket_of(h)] += (h & 1) ? delta : -delta;
     }
   }
 }
@@ -172,11 +123,60 @@ int64_t CountSketch::Estimate(ItemId item) const {
   return MedianInPlace(row_scratch_);
 }
 
+void CountSketch::EstimateAllInto(const ItemId* items, size_t n,
+                                  int64_t* out) const {
+  // Item-major batched decode: same block structure as UpdateBatch, but
+  // gathering sign-adjusted counters into a rows x kSimdBlock staging
+  // area, then taking each item's median across rows.  The staged values
+  // are exactly the row_scratch_ contents Estimate builds per item, so
+  // each output is bit-identical to Estimate(items[i]).
+  const simd::SimdOps& ops = simd::Ops();
+  const size_t b = options_.buckets;
+  const size_t rows = options_.rows;
+  const uint64_t* d0 = hash_bank_.DegreeCoeffs(0);
+  const uint64_t* d1 = hash_bank_.DegreeCoeffs(1);
+  const uint64_t* d2 = hash_bank_.DegreeCoeffs(2);
+  const uint64_t* d3 = hash_bank_.DegreeCoeffs(3);
+  if (est_scratch_.size() < rows * simd::kSimdBlock) {
+    est_scratch_.resize(rows * simd::kSimdBlock);
+  }
+  int64_t* vals = est_scratch_.data();
+  // Unit deltas turn eval4_bucket's signed-delta output into the row sign
+  // itself, so the gather applies the sign with one multiply.
+  static constexpr std::array<int64_t, simd::kSimdBlock> kOnes = [] {
+    std::array<int64_t, simd::kSimdBlock> ones{};
+    for (int64_t& v : ones) v = 1;
+    return ones;
+  }();
+  alignas(64) uint64_t xm[simd::kSimdBlock];
+  alignas(64) uint64_t x2[simd::kSimdBlock];
+  alignas(64) uint64_t x3[simd::kSimdBlock];
+  alignas(64) int64_t sign[simd::kSimdBlock];
+  alignas(64) uint32_t idx[simd::kSimdBlock];
+  for (size_t base = 0; base < n; base += simd::kSimdBlock) {
+    const size_t m = std::min(simd::kSimdBlock, n - base);
+    ops.field_powers(items + base, m, xm, x2, x3);
+    for (size_t j = 0; j < rows; ++j) {
+      ops.eval4_bucket(d0[j], d1[j], d2[j], d3[j], xm, x2, x3, kOnes.data(),
+                       b, m, idx, sign);
+      const int64_t* row = counters_.data() + j * b;
+      for (size_t i = 0; i < m; ++i) {
+        vals[j * simd::kSimdBlock + i] = row[idx[i]] * sign[i];
+      }
+    }
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < rows; ++j) {
+        row_scratch_[j] = vals[j * simd::kSimdBlock + i];
+      }
+      out[base + i] = MedianInPlace(row_scratch_);
+    }
+  }
+}
+
 std::vector<int64_t> CountSketch::EstimateAll(
     const std::vector<ItemId>& items) const {
-  std::vector<int64_t> estimates;
-  estimates.reserve(items.size());
-  for (const ItemId item : items) estimates.push_back(Estimate(item));
+  std::vector<int64_t> estimates(items.size());
+  EstimateAllInto(items.data(), items.size(), estimates.data());
   return estimates;
 }
 
@@ -222,7 +222,16 @@ void CountSketchTopK::UpdateBatch(const gstream::Update* updates, size_t n) {
   touched_scratch_.erase(
       std::unique(touched_scratch_.begin(), touched_scratch_.end()),
       touched_scratch_.end());
-  for (const ItemId item : touched_scratch_) Refresh(item);
+  // One batched decode for all touched items (the estimates depend only on
+  // the post-batch counters, so precomputing them preserves the exact
+  // insert-then-maybe-prune evolution of per-item Refresh calls).
+  estimate_scratch_.resize(touched_scratch_.size());
+  sketch_.EstimateAllInto(touched_scratch_.data(), touched_scratch_.size(),
+                          estimate_scratch_.data());
+  for (size_t i = 0; i < touched_scratch_.size(); ++i) {
+    candidates_[touched_scratch_[i]] = estimate_scratch_[i];
+    if (candidates_.size() > 2 * k_) Prune();
+  }
 }
 
 void CountSketchTopK::MergeFrom(const CountSketchTopK& other) {
@@ -244,10 +253,12 @@ void CountSketchTopK::MergeFrom(const CountSketchTopK& other) {
   // Re-estimate every union member against the merged counters.  Stale
   // per-shard estimates (computed against a shard's partial counters) are
   // discarded wholesale: only whole-stream estimates may decide pruning.
-  const std::vector<int64_t> estimates = sketch_.EstimateAll(touched_scratch_);
+  estimate_scratch_.resize(touched_scratch_.size());
+  sketch_.EstimateAllInto(touched_scratch_.data(), touched_scratch_.size(),
+                          estimate_scratch_.data());
   candidates_.clear();
   for (size_t i = 0; i < touched_scratch_.size(); ++i) {
-    candidates_[touched_scratch_[i]] = estimates[i];
+    candidates_[touched_scratch_[i]] = estimate_scratch_[i];
   }
   // Re-prune to the k strongest (|estimate| desc, item id tiebreak) -- the
   // same selection TopK() reports, so the retained set is exactly the top-k

@@ -16,12 +16,17 @@
 // bucket bias already accounted for.  Halving the hash work this way is
 // what the per-update cost budget is spent on.
 //
-// The coefficients live in a structure-of-arrays KWiseHashBank, so
-// UpdateBatch walks a chunk row-major with the row's four coefficients in
-// registers and no heap traffic; Update and UpdateBatch produce
-// bit-identical counters.  Query scratch (median buffers) is hoisted into
-// mutable members, making the steady-state update and query paths
-// allocation-free.  Queries are not thread-safe for that reason.
+// The coefficients live in a structure-of-arrays KWiseHashBank, and the
+// batched paths run through the runtime-dispatched SIMD kernel layer
+// (util/simd/): UpdateBatch splits each L1-sized block into a field-power
+// precompute, a per-row lane-parallel Eval4Wise pass, a vectorized
+// FastRange61 pass, and a scalar counter scatter, all over small stack
+// arrays.  Mersenne-61 arithmetic is exact in every tier, so Update and
+// UpdateBatch produce bit-identical counters under any dispatch
+// (scalar/AVX2/AVX-512).  Query scratch (median buffers, the batched
+// decode staging) is hoisted into mutable members, making the steady-state
+// update and query paths allocation-free.  Queries are not thread-safe for
+// that reason.
 //
 // Two decoding modes are provided:
 //   * TrackTopK: a running candidate set maintained during the stream (the
@@ -72,6 +77,11 @@ class CountSketch : public LinearSketch {
   // tests are pinned against.
   std::vector<int64_t> EstimateAll(const std::vector<ItemId>& items) const;
 
+  // Allocation-free (steady-state) form of EstimateAll: writes n estimates
+  // into `out`, item-major through the SIMD kernel layer -- the batched
+  // decode the top-k refresh and the candidate-union merge run on.
+  void EstimateAllInto(const ItemId* items, size_t n, int64_t* out) const;
+
   // Per-row F2 estimate (sum of squared counters is unbiased for F2);
   // returns the median across rows.  Coarser than a dedicated AMS sketch
   // but free given the structure.
@@ -105,14 +115,12 @@ class CountSketch : public LinearSketch {
   KWiseHashBank hash_bank_;        // one 4-wise polynomial per row
   std::vector<int64_t> counters_;  // rows * buckets, row-major
   uint64_t hash_fingerprint_ = 0;  // guards MergeFrom
-  // Reusable scratch: batch item powers mod p and deltas (computed once per
-  // chunk, re-read by every row pass), and query median buffers.  Members
-  // so the steady-state paths never allocate.
-  std::vector<uint64_t> xm_scratch_;
-  std::vector<uint64_t> x2_scratch_;
-  std::vector<uint64_t> x3_scratch_;
-  std::vector<int64_t> delta_scratch_;
+  // Reusable query scratch (median buffers and the rows x kSimdBlock
+  // staging of the batched decode); members so the steady-state query
+  // paths never allocate.  The update path needs none: UpdateBatch blocks
+  // through stack arrays.
   mutable std::vector<int64_t> row_scratch_;
+  mutable std::vector<int64_t> est_scratch_;
   mutable std::vector<double> f2_scratch_;
 };
 
@@ -176,9 +184,11 @@ class CountSketchTopK : public LinearSketch {
   // Candidate -> current estimate.  Size capped at 2k (hysteresis band so
   // borderline items are not thrashed in and out).
   std::unordered_map<ItemId, int64_t> candidates_;
-  // Reusable scratch for Prune (|estimate|, item) and batch dedup.
+  // Reusable scratch for Prune (|estimate|, item), batch dedup, and the
+  // batched estimate refresh.
   std::vector<std::pair<int64_t, ItemId>> prune_scratch_;
   std::vector<ItemId> touched_scratch_;
+  std::vector<int64_t> estimate_scratch_;
 };
 
 }  // namespace gstream

@@ -23,6 +23,14 @@
 //     can evaluate one item against every row in a tight loop with the
 //     row's coefficients held in registers -- the allocation-free batched
 //     update path.
+//
+// This header is the scalar kernel interface: the inline primitives below
+// (ReduceToFieldLazy, FieldPowers3Lazy, Eval4Wise, Eval2Wise, FastRange61)
+// are both the per-update hot path and the reference semantics for the
+// runtime-dispatched SIMD layer in util/simd/, whose AVX2/AVX-512 tiers
+// evaluate the same polynomials lane-parallel over item chunks and must
+// (and do, exactly) reproduce these functions' canonical outputs --
+// see docs/simd.md for the per-tier reduction arguments.
 
 #ifndef GSTREAM_UTIL_HASH_H_
 #define GSTREAM_UTIL_HASH_H_
@@ -121,6 +129,24 @@ inline uint64_t Eval4Wise(uint64_t c0, uint64_t c1, uint64_t c2, uint64_t c3,
   return r;
 }
 
+// Evaluates the degree-1 polynomial a0 + a1 x mod p for a0, a1 < p and a
+// lazy x <= p + 7 -- the 2-wise analogue of Eval4Wise, with the same
+// specialized 64-bit reduction instead of MulAddMod61's generic 128-bit
+// fold chain.  Returns the same canonical value as MulAddMod61(a1, x, a0).
+// This is the per-row kernel of Count-Min and the g_np trial hashes; the
+// SIMD tiers (util/simd/) lane-parallelize exactly this computation.
+inline uint64_t Eval2Wise(uint64_t a0, uint64_t a1, uint64_t x) {
+  // sum = a1 * x + a0 < 2^61 * (2^61 + 8) + 2^61 < 2^123, so hi < 2^59,
+  // (hi << 3) | (lo >> 61) < 2^62, and the first fold stays below 2^63.
+  const __uint128_t sum = static_cast<__uint128_t>(a1) * x + a0;
+  const uint64_t lo = static_cast<uint64_t>(sum);
+  const uint64_t hi = static_cast<uint64_t>(sum >> 64);
+  uint64_t r = (lo & kMersenne61) + ((hi << 3) | (lo >> 61));
+  r = (r & kMersenne61) + (r >> 61);
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
 // Maps a field element h in [0, 2^61) onto [0, range) by Lemire's
 // multiply-shift fastrange, adapted to the 61-bit hash domain:
 // floor(h * range / 2^61).  No hardware divide.  Each bucket receives
@@ -130,16 +156,6 @@ inline uint64_t Eval4Wise(uint64_t c0, uint64_t c1, uint64_t c2, uint64_t c3,
 // negligible bias bound as the modulo reduction it replaces.
 inline uint64_t FastRange61(uint64_t h, uint64_t range) {
   return static_cast<uint64_t>((static_cast<__uint128_t>(h) * range) >> 61);
-}
-
-// For a power-of-two range 2^k, FastRange61(h, 2^k) == h >> (61 - k)
-// exactly, so hot loops can replace the widening multiply with one shift.
-// Returns that shift, or -1 if `range` is not a power of two.
-inline int FastRange61Shift(uint64_t range) {
-  if (range == 0 || (range & (range - 1)) != 0) return -1;
-  int k = 0;
-  while ((uint64_t{1} << k) != range) ++k;
-  return 61 - k;
 }
 
 // A k-wise independent hash function h : [2^61-1) -> [2^61-1).

@@ -1,0 +1,111 @@
+// Scalar reference implementations of the SimdOps kernels, built directly
+// on the util/hash.h primitives.  These serve two roles:
+//   * the kScalar dispatch tier (simd_kernels_scalar.cc), and
+//   * the tail loops of the vector tiers -- when n is not a multiple of
+//     the lane width, the remainder runs through exactly these functions,
+//     so a vector tier's output is the scalar tier's output element for
+//     element by construction at the boundaries.
+//
+// Every function here produces canonical field elements (or values derived
+// from them), which is what makes tier agreement a theorem rather than a
+// test-only observation: canonical reduction mod 2^61 - 1 is unique, so
+// any tier that computes the same residue agrees bit-for-bit.
+
+#ifndef GSTREAM_UTIL_SIMD_SIMD_SCALAR_REF_H_
+#define GSTREAM_UTIL_SIMD_SIMD_SCALAR_REF_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "stream/stream.h"
+#include "util/hash.h"
+
+namespace gstream {
+namespace simd {
+
+inline void ScalarPrepareBatch(const Update* updates, size_t n, uint64_t* xm,
+                               uint64_t* x2, uint64_t* x3, int64_t* delta) {
+  for (size_t i = 0; i < n; ++i) {
+    FieldPowers3Lazy(updates[i].item, &xm[i], &x2[i], &x3[i]);
+    delta[i] = updates[i].delta;
+  }
+}
+
+inline void ScalarPrepareBatch2(const Update* updates, size_t n, uint64_t* xm,
+                                int64_t* delta) {
+  for (size_t i = 0; i < n; ++i) {
+    xm[i] = ReduceToFieldLazy(updates[i].item);
+    delta[i] = updates[i].delta;
+  }
+}
+
+inline void ScalarFieldPowers(const uint64_t* keys, size_t n, uint64_t* xm,
+                              uint64_t* x2, uint64_t* x3) {
+  for (size_t i = 0; i < n; ++i) {
+    FieldPowers3Lazy(keys[i], &xm[i], &x2[i], &x3[i]);
+  }
+}
+
+inline void ScalarEval4Row(uint64_t c0, uint64_t c1, uint64_t c2, uint64_t c3,
+                           const uint64_t* xm, const uint64_t* x2,
+                           const uint64_t* x3, size_t n, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = Eval4Wise(c0, c1, c2, c3, xm[i], x2[i], x3[i]);
+  }
+}
+
+inline void ScalarEval2Row(uint64_t a0, uint64_t a1, const uint64_t* xm,
+                           size_t n, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = Eval2Wise(a0, a1, xm[i]);
+}
+
+inline void ScalarFastRange(const uint64_t* h, size_t n, uint64_t range,
+                            uint32_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint32_t>(FastRange61(h[i], range));
+  }
+}
+
+inline void ScalarEval4Bucket(uint64_t c0, uint64_t c1, uint64_t c2,
+                              uint64_t c3, const uint64_t* xm,
+                              const uint64_t* x2, const uint64_t* x3,
+                              const int64_t* delta, uint64_t range, size_t n,
+                              uint32_t* idx, int64_t* sd) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t h = Eval4Wise(c0, c1, c2, c3, xm[i], x2[i], x3[i]);
+    idx[i] = static_cast<uint32_t>(FastRange61(h, range));
+    sd[i] = (h & 1) ? delta[i] : -delta[i];
+  }
+}
+
+inline void ScalarEval2Bucket(uint64_t a0, uint64_t a1, const uint64_t* xm,
+                              uint64_t range, size_t n, uint32_t* idx) {
+  for (size_t i = 0; i < n; ++i) {
+    idx[i] = static_cast<uint32_t>(FastRange61(Eval2Wise(a0, a1, xm[i]),
+                                               range));
+  }
+}
+
+inline int64_t ScalarEval4SignedSum(uint64_t c0, uint64_t c1, uint64_t c2,
+                                    uint64_t c3, const uint64_t* xm,
+                                    const uint64_t* x2, const uint64_t* x3,
+                                    const int64_t* delta, size_t n) {
+  int64_t z = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t s = Eval4Wise(c0, c1, c2, c3, xm[i], x2[i], x3[i]);
+    z += (s & 1) ? delta[i] : -delta[i];
+  }
+  return z;
+}
+
+inline void ScalarEval2ParityOr(uint64_t a0, uint64_t a1, const uint64_t* xm,
+                                size_t n, unsigned bit, uint64_t* masks) {
+  for (size_t i = 0; i < n; ++i) {
+    masks[i] |= (Eval2Wise(a0, a1, xm[i]) & 1) << bit;
+  }
+}
+
+}  // namespace simd
+}  // namespace gstream
+
+#endif  // GSTREAM_UTIL_SIMD_SIMD_SCALAR_REF_H_

@@ -26,6 +26,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -39,6 +40,7 @@
 #include "core/recursive_sketch.h"
 #include "engine/sharded_ingestor.h"
 #include "gfunc/catalog.h"
+#include "persist/checkpoint.h"
 #include "sketch/ams.h"
 #include "sketch/count_min.h"
 #include "sketch/count_sketch.h"
@@ -262,14 +264,22 @@ size_t DriveBatched(LinearSketch& sketch, const Stream& stream) {
 
 // One sharded pass: replicas from `make`, `shards` workers, merge at close.
 // Measures the full Open -> Submit -> Close -> merge lifecycle, i.e. what a
-// caller replacing ProcessStream with the engine actually pays.
+// caller replacing ProcessStream with the engine actually pays.  When
+// `stats_out` is given, the run's ingest accounting (producer stalls,
+// per-shard routing) is copied out for the JSON report.
 template <typename MakeFn>
 size_t DriveSharded(const Stream& stream, size_t shards,
-                    PartitionPolicy policy, MakeFn&& make) {
+                    PartitionPolicy policy, MakeFn&& make,
+                    IngestStats* stats_out = nullptr) {
   IngestEngineOptions options;
   options.shards = shards;
   options.policy = policy;
-  auto merged = ProcessStreamSharded(stream, options, make);
+  using SketchT = decltype(make(size_t{0}));
+  ShardedIngestor<SketchT> ingest(options, make);
+  ingest.Open();
+  ingest.SubmitStream(stream);
+  SketchT& merged = ingest.Close();
+  if (stats_out != nullptr) *stats_out = ingest.stats();
   return merged.SpaceBytes();
 }
 
@@ -348,18 +358,27 @@ int Run(int argc, char** argv) {
   // lifecycle per run.  Scaling is real only on multi-core hosts; on a
   // single-core runner these bound the engine's overhead instead (see
   // bench/README.md).
+  IngestStats sharded4_stats;
   for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    // The 4-shard run donates its ingest accounting (producer stalls,
+    // per-shard chunk/update routing) to the JSON workload section.
+    IngestStats* stats_out = shards == 4 ? &sharded4_stats : nullptr;
     report.Add(Measure("count_sketch/sharded" + std::to_string(shards),
-                       stream.length(), repeats, [&, shards] {
+                       stream.length(), repeats, [&, shards, stats_out] {
                          return DriveSharded(
                              stream, shards,
                              PartitionPolicy::kRoundRobinChunks, [](size_t) {
                                Rng rng(1);
                                return CountSketch(CountSketchOptions{5, 1024},
                                                   rng);
-                             });
+                             },
+                             stats_out);
                        }));
   }
+  report.SetIngest("count_sketch/sharded4", sharded4_stats.updates_submitted,
+                   sharded4_stats.chunks_committed,
+                   sharded4_stats.producer_stalls,
+                   sharded4_stats.shard_updates);
   report.Add(Measure("count_sketch/sharded4_hash", stream.length(), repeats,
                      [&] {
                        return DriveSharded(
@@ -513,6 +532,42 @@ int Run(int argc, char** argv) {
     return est.SpaceBytes();
   }));
 
+  // Durability tax (docs/persistence.md): the checkpointed ingestion the
+  // crash/restart tools run, swept over the checkpoint interval Daly-style
+  // -- shorter intervals bound the work lost to a crash, longer ones
+  // amortize the quiesce + serialize + fsync cost.  `no_ckpt` is the same
+  // engine feed with the checkpoints elided, so the interval ratios
+  // isolate what durability itself costs.
+  const std::string ckpt_path = "/tmp/gstream_bench_ckpt.gckp";
+  const auto make_topk = [](size_t) {
+    Rng rng(5);
+    return CountSketchTopK(CountSketchOptions{5, 1024}, 32, rng);
+  };
+  const auto run_ckpt = [&](uint64_t interval) {
+    IngestEngineOptions engine_options;
+    engine_options.shards = 3;
+    ShardedIngestor<CountSketchTopK> ingest(engine_options, make_topk);
+    ingest.Open();
+    if (interval == 0) {
+      ingest.SubmitStream(gsum_stream);
+    } else {
+      CheckpointOptions options;
+      options.path = ckpt_path;
+      options.interval_updates = interval;
+      RunWithCheckpoints<CountSketchTopK>(ingest, gsum_stream, 0, options);
+    }
+    return ingest.Close().SpaceBytes();
+  };
+  report.Add(Measure("persist/no_ckpt", gsum_stream.length(), repeats,
+                     [&] { return run_ckpt(0); }));
+  for (const uint64_t chunks : {uint64_t{4}, uint64_t{16}, uint64_t{64}}) {
+    const uint64_t interval = chunks * kStreamBatchSize;
+    report.Add(Measure("persist/ckpt_interval" + std::to_string(interval),
+                       gsum_stream.length(), repeats,
+                       [&, interval] { return run_ckpt(interval); }));
+  }
+  std::remove(ckpt_path.c_str());
+
   report.AddSpeedup("count_sketch_batched_vs_seed", "count_sketch/batched",
                     "count_sketch/seed_single");
   // The SIMD dispatch win: identical batched code, scalar tier vs the best
@@ -554,6 +609,11 @@ int Run(int argc, char** argv) {
                     "recursive_gsum/sharded1", "recursive_gsum/batched");
   report.AddSpeedup("recursive_gsum_sharded4_vs_batched",
                     "recursive_gsum/sharded4", "recursive_gsum/batched");
+  for (const uint64_t chunks : {uint64_t{4}, uint64_t{16}, uint64_t{64}}) {
+    const std::string interval = std::to_string(chunks * kStreamBatchSize);
+    report.AddSpeedup("persist_ckpt_interval" + interval + "_vs_no_ckpt",
+                      "persist/ckpt_interval" + interval, "persist/no_ckpt");
+  }
 
   report.PrintTable(stdout);
   if (!report.WriteJson(out_path)) return 1;

@@ -48,6 +48,19 @@ void BenchReport::SetEnvironment(const std::string& isa_tier,
   cpu_model_ = cpu_model;
 }
 
+void BenchReport::SetIngest(const std::string& benchmark,
+                            uint64_t updates_submitted,
+                            uint64_t chunks_committed,
+                            uint64_t producer_stalls,
+                            std::vector<uint64_t> shard_updates) {
+  has_ingest_ = true;
+  ingest_benchmark_ = benchmark;
+  ingest_updates_submitted_ = updates_submitted;
+  ingest_chunks_committed_ = chunks_committed;
+  ingest_producer_stalls_ = producer_stalls;
+  ingest_shard_updates_ = std::move(shard_updates);
+}
+
 void BenchReport::Add(BenchResult result) {
   results_.push_back(std::move(result));
 }
@@ -99,6 +112,21 @@ bool BenchReport::WriteJson(const std::string& path) const {
                workload_updates_, workload_domain_, workload_items_,
                workload_zipf_, JsonEscape(isa_tier_).c_str(),
                JsonEscape(cpu_model_).c_str());
+  if (has_ingest_) {
+    std::fprintf(f,
+                 "  \"ingest\": {\"benchmark\": \"%s\", "
+                 "\"updates_submitted\": %" PRIu64
+                 ", \"chunks_committed\": %" PRIu64
+                 ", \"producer_stalls\": %" PRIu64 ", \"shard_updates\": [",
+                 JsonEscape(ingest_benchmark_).c_str(),
+                 ingest_updates_submitted_, ingest_chunks_committed_,
+                 ingest_producer_stalls_);
+    for (size_t i = 0; i < ingest_shard_updates_.size(); ++i) {
+      std::fprintf(f, "%s%" PRIu64, i > 0 ? ", " : "",
+                   ingest_shard_updates_[i]);
+    }
+    std::fprintf(f, "]},\n");
+  }
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < results_.size(); ++i) {
     const BenchResult& r = results_[i];

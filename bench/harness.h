@@ -72,6 +72,15 @@ class BenchReport {
   void SetEnvironment(const std::string& isa_tier,
                       const std::string& cpu_model);
 
+  // Engine ingest accounting from one sharded run (`benchmark` names which
+  // one): producer stalls plus chunk/update routing per shard.  Recorded in
+  // the JSON so engine scheduling regressions -- a shard starving, the
+  // producer blocking on full rings -- are visible next to the throughput
+  // numbers they would explain.
+  void SetIngest(const std::string& benchmark, uint64_t updates_submitted,
+                 uint64_t chunks_committed, uint64_t producer_stalls,
+                 std::vector<uint64_t> shard_updates);
+
   void Add(BenchResult result);
 
   // Records speedups[key] = updates_per_sec(numerator) /
@@ -100,6 +109,12 @@ class BenchReport {
   double workload_zipf_ = 0.0;
   std::string isa_tier_ = "unknown";
   std::string cpu_model_ = "unknown";
+  bool has_ingest_ = false;
+  std::string ingest_benchmark_;
+  uint64_t ingest_updates_submitted_ = 0;
+  uint64_t ingest_chunks_committed_ = 0;
+  uint64_t ingest_producer_stalls_ = 0;
+  std::vector<uint64_t> ingest_shard_updates_;
   std::vector<BenchResult> results_;
   std::vector<std::pair<std::string, double>> speedups_;
 };

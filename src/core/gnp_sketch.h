@@ -37,6 +37,10 @@
 
 namespace gstream {
 
+namespace persist {
+struct SketchSerde;  // durable wire format (persist/sketch_io.h)
+}  // namespace persist
+
 struct GnpSketchOptions {
   // C: number of substreams (O(lambda^-2)).
   size_t substreams = 64;
@@ -81,6 +85,8 @@ class GnpHeavyHitter : public GHeavyHitterSketch {
   const std::vector<int64_t>& counters() const { return counters_; }
 
  private:
+  friend struct persist::SketchSerde;
+
   // Counter layout: per substream s, per trial t, slot 0 is m and slots
   // 1..id_bits are the per-bit sums m_b.
   size_t SlotIndex(size_t substream, size_t trial, int slot) const;

@@ -38,6 +38,10 @@
 
 namespace gstream {
 
+namespace persist {
+struct SketchSerde;  // durable wire format (persist/sketch_io.h)
+}  // namespace persist
+
 struct GCoverEntry {
   ItemId item = 0;
   // Frequency estimate (exact for the two-pass algorithm).  Meaningful only
@@ -137,6 +141,8 @@ class ExactHeavyHitterSketch : public GHeavyHitterSketch {
   size_t SpaceBytes() const override { return freq_.SpaceBytes(); }
 
  private:
+  friend struct persist::SketchSerde;
+
   ExactFrequencySketch freq_;
 };
 

@@ -92,6 +92,8 @@ class OnePassHeavyHitter : public GHeavyHitterSketch {
                               double epsilon, size_t probe_points);
 
  private:
+  friend struct persist::SketchSerde;
+
   OnePassHHOptions options_;
   CountSketchTopK tracker_;
   AmsSketch ams_;

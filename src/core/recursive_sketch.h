@@ -38,6 +38,10 @@
 
 namespace gstream {
 
+namespace persist {
+struct SketchSerde;  // durable wire format (persist/sketch_io.h)
+}  // namespace persist
+
 class RecursiveGSum {
  public:
   // `levels` = L >= 0; the factory is invoked once per level 0..L.
@@ -95,6 +99,8 @@ class RecursiveGSum {
   }
 
  private:
+  friend struct persist::SketchSerde;
+
   struct ReplicateTag {};
   RecursiveGSum(ReplicateTag, const RecursiveGSum& other);
 

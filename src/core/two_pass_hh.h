@@ -81,6 +81,8 @@ class TwoPassHeavyHitter : public GHeavyHitterSketch {
   const std::vector<ItemId>& candidate_ids() const { return candidate_ids_; }
 
  private:
+  friend struct persist::SketchSerde;
+
   TwoPassHHOptions options_;
   int current_pass_ = 1;
   CountSketchTopK tracker_;

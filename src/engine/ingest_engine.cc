@@ -132,6 +132,51 @@ void IngestEngine::Submit(const Update* updates, size_t n) {
   }
 }
 
+void IngestEngine::Flush() {
+  GSTREAM_CHECK(!closed_);
+  for (auto& shard : shards_) {
+    while (!shard->ring.Empty()) std::this_thread::yield();
+  }
+}
+
+IngestProducerState IngestEngine::SnapshotProducerState() const {
+  IngestProducerState state;
+  state.round_robin_next = round_robin_next_;
+  state.stats = stats_;
+  state.staged.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    if (shard.open != nullptr) {
+      state.staged[s].assign(shard.open->updates,
+                             shard.open->updates + shard.open->n);
+    }
+  }
+  return state;
+}
+
+void IngestEngine::RestoreProducerState(const IngestProducerState& state) {
+  GSTREAM_CHECK(!closed_);
+  GSTREAM_CHECK_EQ(stats_.updates_submitted, 0u);
+  GSTREAM_CHECK_EQ(state.staged.size(), shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    GSTREAM_CHECK(shard.open == nullptr);
+    // A full chunk would have been committed, never staged.
+    GSTREAM_CHECK_LT(state.staged[s].size(), options_.chunk_updates);
+    for (const Update& u : state.staged[s]) {
+      if (shard.open == nullptr) {
+        shard.open = ReserveSpin(shard);
+        shard.open->n = 0;
+      }
+      shard.open->updates[shard.open->n++] = u;
+    }
+  }
+  // Adopt the counters last, wholesale: the re-staging above must not be
+  // double-counted (the snapshot's stats already include those updates).
+  round_robin_next_ = state.round_robin_next;
+  stats_ = state.stats;
+}
+
 void IngestEngine::SubmitStream(const Stream& stream) {
   Submit(stream.updates().data(), stream.length());
 }

@@ -86,6 +86,21 @@ struct IngestStats {
   std::vector<uint64_t> shard_updates;
 };
 
+// Producer-side routing state beyond the sinks: everything a checkpoint
+// must carry so a fresh engine resumes routing *exactly* where this one
+// stopped.  Composite sinks (top-k trackers) depend on chunk framing, not
+// just on the multiset of updates, so resuming bit-exactly requires
+// replaying the staged partial chunks and the round-robin position -- not
+// merely the stream cursor.
+struct IngestProducerState {
+  size_t round_robin_next = 0;
+  IngestStats stats;
+  // Per-shard reserved-but-uncommitted staging contents (kHashItem
+  // scatter); always shorter than one chunk, empty under the other
+  // policies.
+  std::vector<std::vector<Update>> staged;
+};
+
 // A shard's consumer: called once per drained chunk, on that shard's worker
 // thread only.  Typically [s](const Update* u, size_t n) {
 // s->UpdateBatch(u, n); } for a sketch replica `s`.
@@ -115,6 +130,26 @@ class IngestEngine {
   // Flushes partial staging chunks, signals end-of-stream, and joins the
   // workers.  Idempotent; after Close() the sinks hold their final state.
   void Close();
+
+  // Quiesce barrier: returns once every *committed* chunk has been applied
+  // to its sink (rings observed empty; see SpscRing::Empty for the
+  // happens-before argument).  Staged partial chunks are deliberately NOT
+  // flushed -- committing them would change chunk framing versus an
+  // uninterrupted run, which composite sinks observe.  After Flush() the
+  // producer thread may read the sinks race-free until the next Submit;
+  // the workers stay parked on their rings.
+  void Flush();
+
+  // The producer-side routing state at a quiescent point (call Flush()
+  // first if sink state is being captured alongside).  Pure read.
+  IngestProducerState SnapshotProducerState() const;
+
+  // Restores a snapshot into a freshly constructed engine (nothing
+  // submitted yet, same shard count and chunk framing): re-stages the
+  // partial chunks without re-counting them, then adopts the counters and
+  // round-robin cursor wholesale.  Subsequent Submit calls continue as if
+  // this engine had routed everything the snapshot's stats describe.
+  void RestoreProducerState(const IngestProducerState& state);
 
   size_t shards() const { return shards_.size(); }
   bool closed() const { return closed_; }

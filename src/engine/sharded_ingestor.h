@@ -120,6 +120,32 @@ class ShardedIngestor {
     return engine_->stats();
   }
 
+  // Quiesce without closing: every committed chunk applied, workers parked.
+  // Afterwards replicas() and stats() are race-free to read (and
+  // serialize) until the next Submit -- the checkpoint hook
+  // (persist/checkpoint.h) is built on this.
+  void Flush() {
+    GSTREAM_CHECK(engine_ != nullptr);
+    engine_->Flush();
+  }
+
+  IngestProducerState SnapshotProducerState() const {
+    GSTREAM_CHECK(engine_ != nullptr);
+    return engine_->SnapshotProducerState();
+  }
+
+  // Restores producer routing state into a freshly Open()ed ingestor (see
+  // IngestEngine::RestoreProducerState); replica state is restored
+  // separately via the sketch wire format.
+  void RestoreProducerState(const IngestProducerState& state) {
+    GSTREAM_CHECK(engine_ != nullptr);
+    engine_->RestoreProducerState(state);
+  }
+
+  // The effective engine options (shards resolved by Open), exposed so the
+  // checkpoint driver can assert its interval aligns with chunk framing.
+  const IngestEngineOptions& engine_options() const { return options_; }
+
  private:
   IngestEngineOptions options_;
   Factory make_;

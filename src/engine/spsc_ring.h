@@ -76,6 +76,18 @@ class SpscRing {
                 std::memory_order_release);
   }
 
+  // Producer: true when every committed slot has been popped.  The acquire
+  // load pairs with the consumer's release store in Pop(), and the consumer
+  // pops a chunk only after the sink call for it returned -- so observing
+  // an empty ring means every committed chunk's sink effects
+  // happened-before.  This is the engine's quiesce barrier
+  // (IngestEngine::Flush), which is what makes checkpointing a live
+  // engine's sinks race-free without closing it.
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::vector<T> slots_;
   const uint64_t mask_;

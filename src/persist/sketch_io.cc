@@ -1,0 +1,877 @@
+#include "persist/sketch_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "core/gnp_sketch.h"
+#include "core/heavy_hitters.h"
+#include "core/one_pass_hh.h"
+#include "core/recursive_sketch.h"
+#include "core/two_pass_hh.h"
+#include "sketch/ams.h"
+#include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
+#include "stream/exact.h"
+#include "util/logging.h"
+
+namespace gstream {
+namespace persist {
+
+uint64_t Checksum64(std::string_view bytes) {
+  // FNV-1a 64.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void ByteWriter::PutU32(uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  buf_.append(b, 4);
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  buf_.append(b, 8);
+}
+
+void ByteWriter::PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+void ByteWriter::PutBytes(std::string_view bytes) {
+  buf_.append(bytes.data(), bytes.size());
+}
+
+void ByteWriter::PutBlob(std::string_view blob) {
+  PutU64(blob.size());
+  PutBytes(blob);
+}
+
+bool ByteReader::GetU32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) {
+    r |= static_cast<uint32_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  *v = r;
+  return true;
+}
+
+bool ByteReader::GetU64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<uint64_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  *v = r;
+  return true;
+}
+
+bool ByteReader::GetI64(int64_t* v) {
+  uint64_t u = 0;
+  if (!GetU64(&u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool ByteReader::GetBytes(size_t n, std::string_view* out) {
+  if (remaining() < n) return false;
+  *out = bytes_.substr(pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::GetBlob(std::string_view* out) {
+  uint64_t len = 0;
+  if (!GetU64(&len)) return false;
+  if (len > remaining()) return false;
+  return GetBytes(static_cast<size_t>(len), out);
+}
+
+namespace {
+
+constexpr char kBlobMagic[4] = {'G', 'S', 'K', 'B'};
+// magic + version + kind + flags + fingerprint.
+constexpr size_t kBlobHeaderBytes = 4 + 4 + 4 + 4 + 8;
+constexpr size_t kChecksumBytes = 8;
+
+const char* KindName(SketchKind kind) {
+  switch (kind) {
+    case SketchKind::kCountSketch: return "count_sketch";
+    case SketchKind::kCountMin: return "count_min";
+    case SketchKind::kAms: return "ams";
+    case SketchKind::kGnp: return "gnp";
+    case SketchKind::kExactFrequency: return "exact_frequency";
+    case SketchKind::kCountSketchTopK: return "count_sketch_topk";
+    case SketchKind::kExactHeavyHitter: return "exact_heavy_hitter";
+    case SketchKind::kOnePassHH: return "one_pass_hh";
+    case SketchKind::kTwoPassHH: return "two_pass_hh";
+    case SketchKind::kRecursiveGSum: return "recursive_gsum";
+  }
+  return "unknown";
+}
+
+LoadStatus Truncated(const std::string& what) {
+  return LoadStatus::Fail(LoadError::kTruncated,
+                          "blob ends inside " + what);
+}
+
+// Starts a blob: header with a placeholder-free layout (the checksum is
+// appended by FinishBlob over everything written so far).
+void BeginBlob(ByteWriter* w, SketchKind kind, uint64_t fingerprint) {
+  w->PutBytes(std::string_view(kBlobMagic, sizeof(kBlobMagic)));
+  w->PutU32(kSketchFormatVersion);
+  w->PutU32(static_cast<uint32_t>(kind));
+  w->PutU32(0);  // flags, reserved
+  w->PutU64(fingerprint);
+}
+
+std::string FinishBlob(ByteWriter* w) {
+  w->PutU64(Checksum64(w->bytes()));
+  return w->Take();
+}
+
+// Validates the envelope (magic, length, checksum, version, kind) and
+// positions `reader` at the payload; the payload region excludes the
+// trailing checksum, so a fully-consumed reader means no trailing bytes.
+LoadStatus OpenBlob(std::string_view blob, SketchKind want_kind,
+                    ByteReader* reader, uint64_t* fingerprint) {
+  if (blob.size() < sizeof(kBlobMagic) ||
+      std::memcmp(blob.data(), kBlobMagic, sizeof(kBlobMagic)) != 0) {
+    return LoadStatus::Fail(LoadError::kBadMagic,
+                            "not a gstream sketch blob (bad magic)");
+  }
+  if (blob.size() < kBlobHeaderBytes + kChecksumBytes) {
+    return Truncated("the blob header");
+  }
+  const std::string_view body = blob.substr(0, blob.size() - kChecksumBytes);
+  ByteReader tail(blob.substr(blob.size() - kChecksumBytes));
+  uint64_t stored_checksum = 0;
+  tail.GetU64(&stored_checksum);
+  if (Checksum64(body) != stored_checksum) {
+    return LoadStatus::Fail(LoadError::kChecksumMismatch,
+                            "whole-blob checksum mismatch (corrupt bytes)");
+  }
+  *reader = ByteReader(body);
+  std::string_view magic;
+  reader->GetBytes(sizeof(kBlobMagic), &magic);
+  uint32_t version = 0, kind = 0, flags = 0;
+  reader->GetU32(&version);
+  reader->GetU32(&kind);
+  reader->GetU32(&flags);
+  reader->GetU64(fingerprint);
+  if (version != kSketchFormatVersion) {
+    return LoadStatus::Fail(
+        LoadError::kVersionSkew,
+        "format version " + std::to_string(version) + ", this build reads " +
+            std::to_string(kSketchFormatVersion));
+  }
+  if (kind != static_cast<uint32_t>(want_kind)) {
+    return LoadStatus::Fail(
+        LoadError::kTypeMismatch,
+        std::string("blob holds ") +
+            KindName(static_cast<SketchKind>(kind)) + ", destination is " +
+            KindName(want_kind));
+  }
+  return LoadStatus::Ok();
+}
+
+LoadStatus GeometryMismatch(const std::string& what, uint64_t got,
+                            uint64_t want) {
+  return LoadStatus::Fail(LoadError::kGeometryMismatch,
+                          what + " " + std::to_string(got) +
+                              " in blob, destination has " +
+                              std::to_string(want));
+}
+
+LoadStatus FingerprintMismatch() {
+  return LoadStatus::Fail(
+      LoadError::kFingerprintMismatch,
+      "sketch fingerprint differs from the destination's (different seed "
+      "or randomness)");
+}
+
+LoadStatus ExpectDrained(const ByteReader& reader) {
+  if (reader.remaining() != 0) {
+    return LoadStatus::Fail(LoadError::kTrailingData,
+                            std::to_string(reader.remaining()) +
+                                " trailing bytes after the payload");
+  }
+  return LoadStatus::Ok();
+}
+
+// Reads `n` i64 counters into `out`; `out` arrives pre-sized to the
+// destination geometry, so a corrupt length cannot drive allocation.
+LoadStatus ReadCounters(ByteReader* reader, const char* what,
+                        std::vector<int64_t>* out) {
+  for (int64_t& c : *out) {
+    if (!reader->GetI64(&c)) return Truncated(what);
+  }
+  return LoadStatus::Ok();
+}
+
+}  // namespace
+
+// Friend of every sketch: restores private counter/candidate state after
+// the envelope, geometry, and fingerprint checks pass.  Every Read method
+// parses into temporaries and commits only on full success, so a failed
+// load leaves the destination bit-identical to its prior state.
+struct SketchSerde {
+  // --- CountSketch ---------------------------------------------------------
+  static std::string WriteCountSketch(const CountSketch& s) {
+    ByteWriter w;
+    BeginBlob(&w, SketchKind::kCountSketch, s.Fingerprint());
+    w.PutU64(s.rows());
+    w.PutU64(s.buckets());
+    for (const int64_t c : s.counters_) w.PutI64(c);
+    return FinishBlob(&w);
+  }
+
+  static LoadStatus ReadCountSketch(std::string_view blob, CountSketch* dst) {
+    ByteReader r{std::string_view()};
+    uint64_t fp = 0;
+    if (LoadStatus s = OpenBlob(blob, SketchKind::kCountSketch, &r, &fp);
+        !s.ok()) {
+      return s;
+    }
+    uint64_t rows = 0, buckets = 0;
+    if (!r.GetU64(&rows) || !r.GetU64(&buckets)) {
+      return Truncated("count_sketch geometry");
+    }
+    if (rows != dst->rows()) return GeometryMismatch("rows", rows, dst->rows());
+    if (buckets != dst->buckets()) {
+      return GeometryMismatch("buckets", buckets, dst->buckets());
+    }
+    if (fp != dst->Fingerprint()) return FingerprintMismatch();
+    std::vector<int64_t> counters(dst->counters_.size());
+    if (LoadStatus s = ReadCounters(&r, "count_sketch counters", &counters);
+        !s.ok()) {
+      return s;
+    }
+    if (LoadStatus s = ExpectDrained(r); !s.ok()) return s;
+    dst->counters_ = std::move(counters);
+    return LoadStatus::Ok();
+  }
+
+  // --- CountMinSketch ------------------------------------------------------
+  static std::string WriteCountMin(const CountMinSketch& s) {
+    ByteWriter w;
+    BeginBlob(&w, SketchKind::kCountMin, s.Fingerprint());
+    w.PutU64(s.options_.rows);
+    w.PutU64(s.options_.buckets);
+    for (const int64_t c : s.counters_) w.PutI64(c);
+    return FinishBlob(&w);
+  }
+
+  static LoadStatus ReadCountMin(std::string_view blob, CountMinSketch* dst) {
+    ByteReader r{std::string_view()};
+    uint64_t fp = 0;
+    if (LoadStatus s = OpenBlob(blob, SketchKind::kCountMin, &r, &fp);
+        !s.ok()) {
+      return s;
+    }
+    uint64_t rows = 0, buckets = 0;
+    if (!r.GetU64(&rows) || !r.GetU64(&buckets)) {
+      return Truncated("count_min geometry");
+    }
+    if (rows != dst->options_.rows) {
+      return GeometryMismatch("rows", rows, dst->options_.rows);
+    }
+    if (buckets != dst->options_.buckets) {
+      return GeometryMismatch("buckets", buckets, dst->options_.buckets);
+    }
+    if (fp != dst->Fingerprint()) return FingerprintMismatch();
+    std::vector<int64_t> counters(dst->counters_.size());
+    if (LoadStatus s = ReadCounters(&r, "count_min counters", &counters);
+        !s.ok()) {
+      return s;
+    }
+    if (LoadStatus s = ExpectDrained(r); !s.ok()) return s;
+    dst->counters_ = std::move(counters);
+    return LoadStatus::Ok();
+  }
+
+  // --- AmsSketch -----------------------------------------------------------
+  static std::string WriteAms(const AmsSketch& s) {
+    ByteWriter w;
+    BeginBlob(&w, SketchKind::kAms, s.Fingerprint());
+    w.PutU64(s.options_.group_size);
+    w.PutU64(s.options_.groups);
+    for (const int64_t z : s.sums_) w.PutI64(z);
+    return FinishBlob(&w);
+  }
+
+  static LoadStatus ReadAms(std::string_view blob, AmsSketch* dst) {
+    ByteReader r{std::string_view()};
+    uint64_t fp = 0;
+    if (LoadStatus s = OpenBlob(blob, SketchKind::kAms, &r, &fp); !s.ok()) {
+      return s;
+    }
+    uint64_t group_size = 0, groups = 0;
+    if (!r.GetU64(&group_size) || !r.GetU64(&groups)) {
+      return Truncated("ams geometry");
+    }
+    if (group_size != dst->options_.group_size) {
+      return GeometryMismatch("group_size", group_size,
+                              dst->options_.group_size);
+    }
+    if (groups != dst->options_.groups) {
+      return GeometryMismatch("groups", groups, dst->options_.groups);
+    }
+    if (fp != dst->Fingerprint()) return FingerprintMismatch();
+    std::vector<int64_t> sums(dst->sums_.size());
+    if (LoadStatus s = ReadCounters(&r, "ams sums", &sums); !s.ok()) return s;
+    if (LoadStatus s = ExpectDrained(r); !s.ok()) return s;
+    dst->sums_ = std::move(sums);
+    return LoadStatus::Ok();
+  }
+
+  // --- GnpHeavyHitter ------------------------------------------------------
+  static std::string WriteGnp(const GnpHeavyHitter& s) {
+    ByteWriter w;
+    BeginBlob(&w, SketchKind::kGnp, s.Fingerprint());
+    w.PutU64(s.options_.substreams);
+    w.PutU64(s.options_.trials);
+    w.PutU64(static_cast<uint64_t>(s.options_.id_bits));
+    for (const int64_t c : s.counters_) w.PutI64(c);
+    return FinishBlob(&w);
+  }
+
+  static LoadStatus ReadGnp(std::string_view blob, GnpHeavyHitter* dst) {
+    ByteReader r{std::string_view()};
+    uint64_t fp = 0;
+    if (LoadStatus s = OpenBlob(blob, SketchKind::kGnp, &r, &fp); !s.ok()) {
+      return s;
+    }
+    uint64_t substreams = 0, trials = 0, id_bits = 0;
+    if (!r.GetU64(&substreams) || !r.GetU64(&trials) || !r.GetU64(&id_bits)) {
+      return Truncated("gnp geometry");
+    }
+    if (substreams != dst->options_.substreams) {
+      return GeometryMismatch("substreams", substreams,
+                              dst->options_.substreams);
+    }
+    if (trials != dst->options_.trials) {
+      return GeometryMismatch("trials", trials, dst->options_.trials);
+    }
+    if (id_bits != static_cast<uint64_t>(dst->options_.id_bits)) {
+      return GeometryMismatch("id_bits", id_bits,
+                              static_cast<uint64_t>(dst->options_.id_bits));
+    }
+    if (fp != dst->Fingerprint()) return FingerprintMismatch();
+    std::vector<int64_t> counters(dst->counters_.size());
+    if (LoadStatus s = ReadCounters(&r, "gnp counters", &counters); !s.ok()) {
+      return s;
+    }
+    if (LoadStatus s = ExpectDrained(r); !s.ok()) return s;
+    dst->counters_ = std::move(counters);
+    return LoadStatus::Ok();
+  }
+
+  // --- ExactFrequencySketch ------------------------------------------------
+  static std::string WriteExactFrequency(const ExactFrequencySketch& s) {
+    ByteWriter w;
+    BeginBlob(&w, SketchKind::kExactFrequency, /*fingerprint=*/0);
+    // Sorted by item so equal states serialize to identical bytes (the
+    // in-memory map order is not deterministic).
+    std::vector<std::pair<ItemId, int64_t>> entries(s.freq_.begin(),
+                                                    s.freq_.end());
+    std::sort(entries.begin(), entries.end());
+    w.PutU64(entries.size());
+    for (const auto& [item, value] : entries) {
+      w.PutU64(item);
+      w.PutI64(value);
+    }
+    return FinishBlob(&w);
+  }
+
+  static LoadStatus ReadExactFrequency(std::string_view blob,
+                                       ExactFrequencySketch* dst) {
+    ByteReader r{std::string_view()};
+    uint64_t fp = 0;
+    if (LoadStatus s = OpenBlob(blob, SketchKind::kExactFrequency, &r, &fp);
+        !s.ok()) {
+      return s;
+    }
+    if (fp != 0) return FingerprintMismatch();
+    uint64_t n = 0;
+    if (!r.GetU64(&n)) return Truncated("exact_frequency entry count");
+    // Each entry is 16 bytes; bound the count by the remaining bytes so a
+    // corrupt length cannot drive allocation.
+    if (n > r.remaining() / 16) return Truncated("exact_frequency entries");
+    FrequencyMap freq;
+    freq.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t item = 0;
+      int64_t value = 0;
+      if (!r.GetU64(&item) || !r.GetI64(&value)) {
+        return Truncated("exact_frequency entries");
+      }
+      freq[item] = value;
+    }
+    if (LoadStatus s = ExpectDrained(r); !s.ok()) return s;
+    dst->freq_ = std::move(freq);
+    return LoadStatus::Ok();
+  }
+
+  // --- CountSketchTopK -----------------------------------------------------
+  static std::string WriteTopK(const CountSketchTopK& s) {
+    ByteWriter w;
+    BeginBlob(&w, SketchKind::kCountSketchTopK, s.Fingerprint());
+    w.PutU64(s.k());
+    w.PutBlob(WriteCountSketch(s.sketch_));
+    std::vector<std::pair<ItemId, int64_t>> candidates(s.candidates_.begin(),
+                                                       s.candidates_.end());
+    std::sort(candidates.begin(), candidates.end());
+    w.PutU64(candidates.size());
+    for (const auto& [item, estimate] : candidates) {
+      w.PutU64(item);
+      w.PutI64(estimate);
+    }
+    return FinishBlob(&w);
+  }
+
+  static LoadStatus ReadTopK(std::string_view blob, CountSketchTopK* dst) {
+    ByteReader r{std::string_view()};
+    uint64_t fp = 0;
+    if (LoadStatus s = OpenBlob(blob, SketchKind::kCountSketchTopK, &r, &fp);
+        !s.ok()) {
+      return s;
+    }
+    uint64_t k = 0;
+    if (!r.GetU64(&k)) return Truncated("topk capacity");
+    if (k != dst->k()) return GeometryMismatch("k", k, dst->k());
+    if (fp != dst->Fingerprint()) return FingerprintMismatch();
+    std::string_view inner;
+    if (!r.GetBlob(&inner)) return Truncated("topk inner sketch blob");
+    CountSketch sketch = dst->sketch_;
+    if (LoadStatus s = ReadCountSketch(inner, &sketch); !s.ok()) return s;
+    uint64_t n = 0;
+    if (!r.GetU64(&n)) return Truncated("topk candidate count");
+    if (n > r.remaining() / 16) return Truncated("topk candidates");
+    std::unordered_map<ItemId, int64_t> candidates;
+    candidates.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t item = 0;
+      int64_t estimate = 0;
+      if (!r.GetU64(&item) || !r.GetI64(&estimate)) {
+        return Truncated("topk candidates");
+      }
+      candidates[item] = estimate;
+    }
+    if (LoadStatus s = ExpectDrained(r); !s.ok()) return s;
+    dst->sketch_ = std::move(sketch);
+    dst->candidates_ = std::move(candidates);
+    return LoadStatus::Ok();
+  }
+
+  // --- ExactHeavyHitterSketch ----------------------------------------------
+  static std::string WriteExactHH(const ExactHeavyHitterSketch& s) {
+    ByteWriter w;
+    BeginBlob(&w, SketchKind::kExactHeavyHitter, /*fingerprint=*/0);
+    w.PutBlob(WriteExactFrequency(s.freq_));
+    return FinishBlob(&w);
+  }
+
+  static LoadStatus ReadExactHH(std::string_view blob,
+                                ExactHeavyHitterSketch* dst) {
+    ByteReader r{std::string_view()};
+    uint64_t fp = 0;
+    if (LoadStatus s = OpenBlob(blob, SketchKind::kExactHeavyHitter, &r, &fp);
+        !s.ok()) {
+      return s;
+    }
+    if (fp != 0) return FingerprintMismatch();
+    std::string_view inner;
+    if (!r.GetBlob(&inner)) return Truncated("exact_hh inner blob");
+    ExactFrequencySketch freq = dst->freq_;
+    if (LoadStatus s = ReadExactFrequency(inner, &freq); !s.ok()) return s;
+    if (LoadStatus s = ExpectDrained(r); !s.ok()) return s;
+    dst->freq_ = std::move(freq);
+    return LoadStatus::Ok();
+  }
+
+  // --- OnePassHeavyHitter --------------------------------------------------
+  static std::string WriteOnePass(const OnePassHeavyHitter& s) {
+    ByteWriter w;
+    BeginBlob(&w, SketchKind::kOnePassHH, s.Fingerprint());
+    w.PutBlob(WriteTopK(s.tracker_));
+    w.PutBlob(WriteAms(s.ams_));
+    return FinishBlob(&w);
+  }
+
+  static LoadStatus ReadOnePass(std::string_view blob,
+                                OnePassHeavyHitter* dst) {
+    ByteReader r{std::string_view()};
+    uint64_t fp = 0;
+    if (LoadStatus s = OpenBlob(blob, SketchKind::kOnePassHH, &r, &fp);
+        !s.ok()) {
+      return s;
+    }
+    if (fp != dst->Fingerprint()) return FingerprintMismatch();
+    std::string_view tracker_blob, ams_blob;
+    if (!r.GetBlob(&tracker_blob)) return Truncated("one_pass_hh tracker");
+    if (!r.GetBlob(&ams_blob)) return Truncated("one_pass_hh ams");
+    CountSketchTopK tracker = dst->tracker_;
+    AmsSketch ams = dst->ams_;
+    if (LoadStatus s = ReadTopK(tracker_blob, &tracker); !s.ok()) return s;
+    if (LoadStatus s = ReadAms(ams_blob, &ams); !s.ok()) return s;
+    if (LoadStatus s = ExpectDrained(r); !s.ok()) return s;
+    dst->tracker_ = std::move(tracker);
+    dst->ams_ = std::move(ams);
+    return LoadStatus::Ok();
+  }
+
+  // --- TwoPassHeavyHitter --------------------------------------------------
+  static std::string WriteTwoPass(const TwoPassHeavyHitter& s) {
+    ByteWriter w;
+    BeginBlob(&w, SketchKind::kTwoPassHH, s.Fingerprint());
+    w.PutU32(static_cast<uint32_t>(s.current_pass_));
+    w.PutBlob(WriteTopK(s.tracker_));
+    w.PutU64(s.candidate_ids_.size());
+    for (const ItemId id : s.candidate_ids_) w.PutU64(id);
+    for (const int64_t c : s.exact_counts_) w.PutI64(c);
+    return FinishBlob(&w);
+  }
+
+  static LoadStatus ReadTwoPass(std::string_view blob,
+                                TwoPassHeavyHitter* dst) {
+    ByteReader r{std::string_view()};
+    uint64_t fp = 0;
+    if (LoadStatus s = OpenBlob(blob, SketchKind::kTwoPassHH, &r, &fp);
+        !s.ok()) {
+      return s;
+    }
+    if (fp != dst->Fingerprint()) return FingerprintMismatch();
+    uint32_t pass = 0;
+    if (!r.GetU32(&pass)) return Truncated("two_pass_hh pass");
+    if (pass != 1 && pass != 2) {
+      return LoadStatus::Fail(LoadError::kDomainError,
+                              "two_pass_hh pass " + std::to_string(pass) +
+                                  " outside {1, 2}");
+    }
+    std::string_view tracker_blob;
+    if (!r.GetBlob(&tracker_blob)) return Truncated("two_pass_hh tracker");
+    CountSketchTopK tracker = dst->tracker_;
+    if (LoadStatus s = ReadTopK(tracker_blob, &tracker); !s.ok()) return s;
+    uint64_t n = 0;
+    if (!r.GetU64(&n)) return Truncated("two_pass_hh candidate count");
+    if (n > r.remaining() / 16) return Truncated("two_pass_hh candidates");
+    std::vector<ItemId> ids(static_cast<size_t>(n));
+    std::vector<int64_t> counts(static_cast<size_t>(n));
+    for (ItemId& id : ids) {
+      if (!r.GetU64(&id)) return Truncated("two_pass_hh candidate ids");
+    }
+    for (int64_t& c : counts) {
+      if (!r.GetI64(&c)) return Truncated("two_pass_hh exact counts");
+    }
+    if (LoadStatus s = ExpectDrained(r); !s.ok()) return s;
+    dst->current_pass_ = static_cast<int>(pass);
+    dst->tracker_ = std::move(tracker);
+    dst->candidate_ids_ = std::move(ids);
+    dst->exact_counts_ = std::move(counts);
+    return LoadStatus::Ok();
+  }
+
+  // --- RecursiveGSum -------------------------------------------------------
+  static std::string WriteRecursive(const RecursiveGSum& stack) {
+    ByteWriter w;
+    BeginBlob(&w, SketchKind::kRecursiveGSum, stack.Fingerprint());
+    w.PutU64(stack.subsampler_.Fingerprint());
+    w.PutU64(stack.sketches_.size());
+    for (const auto& sketch : stack.sketches_) {
+      w.PutU32(static_cast<uint32_t>(KindOfHeavyHitter(*sketch)));
+      w.PutBlob(SerializeHeavyHitter(*sketch));
+    }
+    return FinishBlob(&w);
+  }
+
+  static LoadStatus ReadRecursive(std::string_view blob, RecursiveGSum* dst) {
+    ByteReader r{std::string_view()};
+    uint64_t fp = 0;
+    if (LoadStatus s = OpenBlob(blob, SketchKind::kRecursiveGSum, &r, &fp);
+        !s.ok()) {
+      return s;
+    }
+    uint64_t sub_fp = 0, n_levels = 0;
+    if (!r.GetU64(&sub_fp) || !r.GetU64(&n_levels)) {
+      return Truncated("recursive_gsum header");
+    }
+    if (n_levels != dst->sketches_.size()) {
+      return GeometryMismatch("levels", n_levels, dst->sketches_.size());
+    }
+    if (sub_fp != dst->subsampler_.Fingerprint() || fp != dst->Fingerprint()) {
+      return FingerprintMismatch();
+    }
+    // Per-level deserialization runs on clones so a failure at level l
+    // leaves levels 0..l-1 of the destination untouched.
+    std::vector<std::unique_ptr<GHeavyHitterSketch>> levels;
+    levels.reserve(dst->sketches_.size());
+    for (size_t l = 0; l < dst->sketches_.size(); ++l) {
+      uint32_t kind = 0;
+      std::string_view level_blob;
+      if (!r.GetU32(&kind) || !r.GetBlob(&level_blob)) {
+        return Truncated("recursive_gsum level " + std::to_string(l));
+      }
+      std::unique_ptr<GHeavyHitterSketch> level = dst->sketches_[l]->Clone();
+      if (kind != static_cast<uint32_t>(KindOfHeavyHitter(*level))) {
+        return LoadStatus::Fail(
+            LoadError::kTypeMismatch,
+            "level " + std::to_string(l) + " holds " +
+                KindName(static_cast<SketchKind>(kind)) +
+                ", destination level is " +
+                KindName(KindOfHeavyHitter(*level)));
+      }
+      if (LoadStatus s = DeserializeHeavyHitter(level_blob, level.get());
+          !s.ok()) {
+        s.message = "level " + std::to_string(l) + ": " + s.message;
+        return s;
+      }
+      levels.push_back(std::move(level));
+    }
+    if (LoadStatus s = ExpectDrained(r); !s.ok()) return s;
+    dst->sketches_ = std::move(levels);
+    return LoadStatus::Ok();
+  }
+
+  static SketchKind KindOfHeavyHitter(const GHeavyHitterSketch& sketch) {
+    if (dynamic_cast<const OnePassHeavyHitter*>(&sketch) != nullptr) {
+      return SketchKind::kOnePassHH;
+    }
+    if (dynamic_cast<const TwoPassHeavyHitter*>(&sketch) != nullptr) {
+      return SketchKind::kTwoPassHH;
+    }
+    if (dynamic_cast<const GnpHeavyHitter*>(&sketch) != nullptr) {
+      return SketchKind::kGnp;
+    }
+    if (dynamic_cast<const ExactHeavyHitterSketch*>(&sketch) != nullptr) {
+      return SketchKind::kExactHeavyHitter;
+    }
+    std::fprintf(stderr,
+                 "sketch_io: unknown GHeavyHitterSketch subclass cannot be "
+                 "serialized\n");
+    std::abort();
+  }
+};
+
+}  // namespace persist
+
+// ---------------------------------------------------------------------------
+// Public surface: thin delegation into the friend serde.
+// ---------------------------------------------------------------------------
+
+std::string SerializeSketch(const CountSketch& sketch) {
+  return persist::SketchSerde::WriteCountSketch(sketch);
+}
+std::string SerializeSketch(const CountMinSketch& sketch) {
+  return persist::SketchSerde::WriteCountMin(sketch);
+}
+std::string SerializeSketch(const AmsSketch& sketch) {
+  return persist::SketchSerde::WriteAms(sketch);
+}
+std::string SerializeSketch(const GnpHeavyHitter& sketch) {
+  return persist::SketchSerde::WriteGnp(sketch);
+}
+std::string SerializeSketch(const ExactFrequencySketch& sketch) {
+  return persist::SketchSerde::WriteExactFrequency(sketch);
+}
+std::string SerializeSketch(const CountSketchTopK& sketch) {
+  return persist::SketchSerde::WriteTopK(sketch);
+}
+std::string SerializeSketch(const ExactHeavyHitterSketch& sketch) {
+  return persist::SketchSerde::WriteExactHH(sketch);
+}
+std::string SerializeSketch(const OnePassHeavyHitter& sketch) {
+  return persist::SketchSerde::WriteOnePass(sketch);
+}
+std::string SerializeSketch(const TwoPassHeavyHitter& sketch) {
+  return persist::SketchSerde::WriteTwoPass(sketch);
+}
+std::string SerializeSketch(const RecursiveGSum& stack) {
+  return persist::SketchSerde::WriteRecursive(stack);
+}
+
+LoadStatus DeserializeSketch(std::string_view blob, CountSketch* dst) {
+  return persist::SketchSerde::ReadCountSketch(blob, dst);
+}
+LoadStatus DeserializeSketch(std::string_view blob, CountMinSketch* dst) {
+  return persist::SketchSerde::ReadCountMin(blob, dst);
+}
+LoadStatus DeserializeSketch(std::string_view blob, AmsSketch* dst) {
+  return persist::SketchSerde::ReadAms(blob, dst);
+}
+LoadStatus DeserializeSketch(std::string_view blob, GnpHeavyHitter* dst) {
+  return persist::SketchSerde::ReadGnp(blob, dst);
+}
+LoadStatus DeserializeSketch(std::string_view blob,
+                             ExactFrequencySketch* dst) {
+  return persist::SketchSerde::ReadExactFrequency(blob, dst);
+}
+LoadStatus DeserializeSketch(std::string_view blob, CountSketchTopK* dst) {
+  return persist::SketchSerde::ReadTopK(blob, dst);
+}
+LoadStatus DeserializeSketch(std::string_view blob,
+                             ExactHeavyHitterSketch* dst) {
+  return persist::SketchSerde::ReadExactHH(blob, dst);
+}
+LoadStatus DeserializeSketch(std::string_view blob, OnePassHeavyHitter* dst) {
+  return persist::SketchSerde::ReadOnePass(blob, dst);
+}
+LoadStatus DeserializeSketch(std::string_view blob, TwoPassHeavyHitter* dst) {
+  return persist::SketchSerde::ReadTwoPass(blob, dst);
+}
+LoadStatus DeserializeSketch(std::string_view blob, RecursiveGSum* dst) {
+  return persist::SketchSerde::ReadRecursive(blob, dst);
+}
+
+std::string SerializeHeavyHitter(const GHeavyHitterSketch& sketch) {
+  if (const auto* s = dynamic_cast<const OnePassHeavyHitter*>(&sketch)) {
+    return SerializeSketch(*s);
+  }
+  if (const auto* s = dynamic_cast<const TwoPassHeavyHitter*>(&sketch)) {
+    return SerializeSketch(*s);
+  }
+  if (const auto* s = dynamic_cast<const GnpHeavyHitter*>(&sketch)) {
+    return SerializeSketch(*s);
+  }
+  if (const auto* s = dynamic_cast<const ExactHeavyHitterSketch*>(&sketch)) {
+    return SerializeSketch(*s);
+  }
+  std::fprintf(stderr,
+               "sketch_io: unknown GHeavyHitterSketch subclass cannot be "
+               "serialized\n");
+  std::abort();
+}
+
+LoadStatus DeserializeHeavyHitter(std::string_view blob,
+                                  GHeavyHitterSketch* dst) {
+  if (auto* s = dynamic_cast<OnePassHeavyHitter*>(dst)) {
+    return DeserializeSketch(blob, s);
+  }
+  if (auto* s = dynamic_cast<TwoPassHeavyHitter*>(dst)) {
+    return DeserializeSketch(blob, s);
+  }
+  if (auto* s = dynamic_cast<GnpHeavyHitter*>(dst)) {
+    return DeserializeSketch(blob, s);
+  }
+  if (auto* s = dynamic_cast<ExactHeavyHitterSketch*>(dst)) {
+    return DeserializeSketch(blob, s);
+  }
+  return LoadStatus::Fail(
+      LoadError::kTypeMismatch,
+      "destination is a GHeavyHitterSketch subclass the wire format does "
+      "not know");
+}
+
+std::optional<SketchKind> PeekSketchKind(std::string_view blob) {
+  if (blob.size() < 12) return std::nullopt;
+  if (std::memcmp(blob.data(), "GSKB", 4) != 0) return std::nullopt;
+  persist::ByteReader r(blob.substr(4));
+  uint32_t version = 0, kind = 0;
+  r.GetU32(&version);
+  r.GetU32(&kind);
+  return static_cast<SketchKind>(kind);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-consistent file I/O.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool FsyncFd(int fd) { return ::fsync(fd) == 0; }
+
+// fsync the directory containing `path` so the rename itself is durable.
+bool FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = FsyncFd(fd);
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+bool WriteFileAtomic(const std::string& path, std::string_view bytes,
+                     WriteFault fault) {
+  if (fault == WriteFault::kCrashBeforeTmp) return false;
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const std::string_view to_write =
+      fault == WriteFault::kCrashMidTmp ? bytes.substr(0, bytes.size() / 2)
+                                        : bytes;
+  size_t written = 0;
+  while (written < to_write.size()) {
+    const ssize_t n =
+        ::write(fd, to_write.data() + written, to_write.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (fault == WriteFault::kCrashMidTmp) {
+    // A crash mid-write: the tmp file holds a prefix, never fsynced, never
+    // renamed.  The target path is untouched.
+    ::close(fd);
+    return false;
+  }
+  const bool synced = FsyncFd(fd);
+  ::close(fd);
+  if (!synced) return false;
+  if (fault == WriteFault::kCrashBeforeRename) return false;
+  if (::rename(tmp.c_str(), path.c_str()) != 0) return false;
+  // Persist the rename: without the directory fsync a crash can roll the
+  // directory entry back to the old file even though the data blocks of
+  // the new one are on disk.
+  return FsyncParentDir(path);
+}
+
+std::optional<std::string> ReadFileBytes(const std::string& path,
+                                         LoadStatus* status) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    ReportStatus(LoadStatus::Fail(LoadError::kIoError,
+                                  "cannot open " + path + ": " +
+                                      std::strerror(errno)),
+                 status);
+    return std::nullopt;
+  }
+  std::string bytes;
+  char buffer[1 << 14];
+  size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    bytes.append(buffer, got);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    ReportStatus(
+        LoadStatus::Fail(LoadError::kIoError, "read error on " + path),
+        status);
+    return std::nullopt;
+  }
+  ReportStatus(LoadStatus::Ok(), status);
+  return bytes;
+}
+
+}  // namespace gstream

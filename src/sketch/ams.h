@@ -27,6 +27,10 @@
 
 namespace gstream {
 
+namespace persist {
+struct SketchSerde;  // durable wire format (persist/sketch_io.h)
+}  // namespace persist
+
 struct AmsOptions {
   size_t group_size = 16;  // estimators averaged per group (~1/eps^2)
   size_t groups = 5;       // groups medianed (~log 1/delta)
@@ -58,6 +62,8 @@ class AmsSketch : public LinearSketch {
   uint64_t Fingerprint() const { return hash_fingerprint_; }
 
  private:
+  friend struct persist::SketchSerde;
+
   AmsOptions options_;
   KWiseHashBank sign_bank_;    // group_size * groups rows, 4-wise
   std::vector<int64_t> sums_;  // Z per estimator

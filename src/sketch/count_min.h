@@ -24,6 +24,10 @@
 
 namespace gstream {
 
+namespace persist {
+struct SketchSerde;  // durable wire format (persist/sketch_io.h)
+}  // namespace persist
+
 struct CountMinOptions {
   size_t rows = 5;
   size_t buckets = 256;
@@ -57,6 +61,8 @@ class CountMinSketch : public LinearSketch {
   uint64_t Fingerprint() const { return hash_fingerprint_; }
 
  private:
+  friend struct persist::SketchSerde;
+
   CountMinOptions options_;
   KWiseHashBank bucket_bank_;  // one row each, 2-wise
   std::vector<int64_t> counters_;

@@ -48,6 +48,10 @@
 
 namespace gstream {
 
+namespace persist {
+struct SketchSerde;  // durable wire format (persist/sketch_io.h)
+}  // namespace persist
+
 struct CountSketchOptions {
   size_t rows = 5;       // r: drives the failure probability 2^{-Omega(r)}
   size_t buckets = 256;  // b: drives the error sqrt(F2 / b)
@@ -103,6 +107,11 @@ class CountSketch : public LinearSketch {
   const std::vector<int64_t>& counters() const { return counters_; }
 
  private:
+  // The serializer restores counter state directly (never the hash
+  // coefficients: those come from same-seed reconstruction, checked via
+  // the fingerprint in the wire header).
+  friend struct persist::SketchSerde;
+
   // H_j(item) for row j, given the item's precomputed field powers.
   uint64_t RowHash(size_t j, uint64_t xm, uint64_t x2, uint64_t x3) const {
     return Eval4Wise(hash_bank_.DegreeCoeffs(0)[j],
@@ -176,6 +185,8 @@ class CountSketchTopK : public LinearSketch {
   size_t SpaceBytes() const override;
 
  private:
+  friend struct persist::SketchSerde;
+
   void Refresh(ItemId item);
   void Prune();
 

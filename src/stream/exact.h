@@ -13,6 +13,10 @@
 
 namespace gstream {
 
+namespace persist {
+struct SketchSerde;  // durable wire format (persist/sketch_io.h)
+}  // namespace persist
+
 // The exact frequency vector as a linear sketch: linear space, zero error.
 // Exists so the exact baseline rides the same infrastructure as the
 // approximate sketches -- ProcessStream drives it through UpdateBatch,
@@ -44,6 +48,8 @@ class ExactFrequencySketch : public LinearSketch {
   }
 
  private:
+  friend struct persist::SketchSerde;
+
   FrequencyMap freq_;
 };
 

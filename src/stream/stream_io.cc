@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 namespace gstream {
@@ -31,27 +32,68 @@ std::string StreamToText(const Stream& stream) {
   return out.str();
 }
 
-std::optional<Stream> StreamFromText(const std::string& text) {
+std::optional<Stream> StreamFromText(const std::string& text,
+                                     LoadStatus* status) {
   std::istringstream in(text);
   std::string line;
+  size_t line_no = 0;
   // Header.
   uint64_t domain = 0;
   {
     std::string stripped;
+    size_t header_line = 0;
     while (std::getline(in, line)) {
+      ++line_no;
       stripped = StripLine(line);
-      if (!stripped.empty()) break;
+      if (!stripped.empty()) {
+        header_line = line_no;
+        break;
+      }
+    }
+    if (stripped.empty()) {
+      ReportStatus(LoadStatus::Fail(LoadError::kBadMagic,
+                                    "no header line (empty input?)"),
+                   status);
+      return std::nullopt;
     }
     std::istringstream header(stripped);
     std::string magic;
-    if (!(header >> magic >> domain) || magic != kMagic || domain == 0) {
+    if (!(header >> magic) || magic != kMagic) {
+      ReportStatus(
+          LoadStatus::Fail(LoadError::kBadMagic,
+                           "line " + std::to_string(header_line) +
+                               ": expected '" + kMagic + " <domain>' header"),
+          status);
+      return std::nullopt;
+    }
+    if (!(header >> domain)) {
+      ReportStatus(
+          LoadStatus::Fail(LoadError::kParseError,
+                           "line " + std::to_string(header_line) +
+                               ": domain is not a 64-bit unsigned integer"),
+          status);
+      return std::nullopt;
+    }
+    if (domain == 0) {
+      ReportStatus(LoadStatus::Fail(LoadError::kDomainError,
+                                    "line " + std::to_string(header_line) +
+                                        ": domain must be positive"),
+                   status);
       return std::nullopt;
     }
     std::string extra;
-    if (header >> extra) return std::nullopt;
+    if (header >> extra) {
+      ReportStatus(LoadStatus::Fail(LoadError::kParseError,
+                                    "line " + std::to_string(header_line) +
+                                        ": unexpected token '" + extra +
+                                        "' after header"),
+                   status);
+      return std::nullopt;
+    }
   }
   Stream stream(domain);
   while (std::getline(in, line)) {
+    ++line_no;
     const std::string stripped = StripLine(line);
     if (stripped.empty()) continue;
     std::istringstream fields(stripped);
@@ -59,11 +101,26 @@ std::optional<Stream> StreamFromText(const std::string& text) {
     int64_t delta = 0;
     std::string extra;
     if (!(fields >> item >> delta) || (fields >> extra)) {
+      ReportStatus(LoadStatus::Fail(
+                       LoadError::kParseError,
+                       "line " + std::to_string(line_no) +
+                           ": expected '<item> <delta>', got '" + stripped +
+                           "'"),
+                   status);
       return std::nullopt;
     }
-    if (item >= domain) return std::nullopt;
+    if (item >= domain) {
+      ReportStatus(LoadStatus::Fail(
+                       LoadError::kDomainError,
+                       "line " + std::to_string(line_no) + ": item " +
+                           std::to_string(item) + " outside domain " +
+                           std::to_string(domain)),
+                   status);
+      return std::nullopt;
+    }
     stream.Append(item, delta);
   }
+  ReportStatus(LoadStatus::Ok(), status);
   return stream;
 }
 
@@ -76,17 +133,29 @@ bool SaveStream(const Stream& stream, const std::string& path) {
   return std::fclose(f) == 0 && ok;
 }
 
-std::optional<Stream> LoadStream(const std::string& path) {
+std::optional<Stream> LoadStream(const std::string& path,
+                                 LoadStatus* status) {
   std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) return std::nullopt;
+  if (f == nullptr) {
+    ReportStatus(LoadStatus::Fail(LoadError::kIoError,
+                                  path + ": " + std::strerror(errno)),
+                 status);
+    return std::nullopt;
+  }
   std::string text;
   char buffer[1 << 14];
   size_t got = 0;
   while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
     text.append(buffer, got);
   }
+  const bool read_error = std::ferror(f) != 0;
   std::fclose(f);
-  return StreamFromText(text);
+  if (read_error) {
+    ReportStatus(LoadStatus::Fail(LoadError::kIoError, path + ": read failed"),
+                 status);
+    return std::nullopt;
+  }
+  return StreamFromText(text, status);
 }
 
 }  // namespace gstream

@@ -10,7 +10,10 @@
 //
 // Loading validates the header, the domain bound on every item, and
 // integer syntax; failures return std::nullopt rather than aborting, so
-// callers can handle user-supplied files gracefully.
+// callers can handle user-supplied files gracefully.  Pass a LoadStatus
+// to learn *why* a load failed: the reason code distinguishes a missing
+// file from a garbled header from an out-of-domain item, and the message
+// names the offending line.
 
 #ifndef GSTREAM_STREAM_STREAM_IO_H_
 #define GSTREAM_STREAM_STREAM_IO_H_
@@ -19,6 +22,7 @@
 #include <string>
 
 #include "stream/stream.h"
+#include "util/status.h"
 
 namespace gstream {
 
@@ -26,12 +30,18 @@ namespace gstream {
 bool SaveStream(const Stream& stream, const std::string& path);
 
 // Parses a stream from the text format; nullopt on syntax, header, or
-// domain violations (and on I/O errors).
-std::optional<Stream> LoadStream(const std::string& path);
+// domain violations (and on I/O errors).  On failure `status` (when
+// given) holds the reason: kIoError for unreadable files, kBadMagic for
+// a missing/foreign header, kParseError for bad tokens or integer
+// overflow, kDomainError for well-formed values violating the domain
+// bound -- each with the 1-based line number in the message.
+std::optional<Stream> LoadStream(const std::string& path,
+                                 LoadStatus* status = nullptr);
 
 // In-memory variants (used by the file functions and directly testable).
 std::string StreamToText(const Stream& stream);
-std::optional<Stream> StreamFromText(const std::string& text);
+std::optional<Stream> StreamFromText(const std::string& text,
+                                     LoadStatus* status = nullptr);
 
 }  // namespace gstream
 

@@ -1,0 +1,75 @@
+// Load-failure reporting shared by every deserializer in the library
+// (text stream files, binary sketch blobs, engine checkpoints).
+//
+// The loaders are total functions over arbitrary bytes: any input -- torn
+// writes, bit rot, version skew, files from a different build -- must come
+// back as a clean (nullopt/false, LoadStatus) pair, never UB or abort.
+// The status carries a machine-checkable reason code (the corruption
+// sweeps in tests/persist/ assert the *right* failure, not just failure)
+// plus a human diagnostic with enough context to debug a bad file (line
+// number for text formats, offset/field for binary ones).
+
+#ifndef GSTREAM_UTIL_STATUS_H_
+#define GSTREAM_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace gstream {
+
+enum class LoadError {
+  kOk = 0,
+  kIoError,               // open/read/stat failed
+  kBadMagic,              // not this format at all
+  kVersionSkew,           // recognized format, unsupported version
+  kTypeMismatch,          // blob holds a different sketch type
+  kFingerprintMismatch,   // randomness differs from the destination's
+  kGeometryMismatch,      // rows/buckets/levels differ from the destination
+  kTruncated,             // bytes end before the format says they should
+  kChecksumMismatch,      // whole-file checksum failed (corruption)
+  kTrailingData,          // well-formed value followed by extra bytes
+  kParseError,            // text syntax error (bad token, overflow)
+  kDomainError,           // well-formed value violating a semantic bound
+};
+
+// Human-readable name of a LoadError code ("checksum_mismatch", ...).
+inline const char* LoadErrorName(LoadError error) {
+  switch (error) {
+    case LoadError::kOk: return "ok";
+    case LoadError::kIoError: return "io_error";
+    case LoadError::kBadMagic: return "bad_magic";
+    case LoadError::kVersionSkew: return "version_skew";
+    case LoadError::kTypeMismatch: return "type_mismatch";
+    case LoadError::kFingerprintMismatch: return "fingerprint_mismatch";
+    case LoadError::kGeometryMismatch: return "geometry_mismatch";
+    case LoadError::kTruncated: return "truncated";
+    case LoadError::kChecksumMismatch: return "checksum_mismatch";
+    case LoadError::kTrailingData: return "trailing_data";
+    case LoadError::kParseError: return "parse_error";
+    case LoadError::kDomainError: return "domain_error";
+  }
+  return "unknown";
+}
+
+// Outcome of a load: ok(), or a reason code plus diagnostic message.
+struct LoadStatus {
+  LoadError error = LoadError::kOk;
+  std::string message;
+
+  bool ok() const { return error == LoadError::kOk; }
+
+  static LoadStatus Ok() { return LoadStatus{}; }
+  static LoadStatus Fail(LoadError error, std::string message) {
+    return LoadStatus{error, std::move(message)};
+  }
+};
+
+// Writes `status` into `out` if the caller asked for diagnostics (loaders
+// take an optional out-parameter so existing call sites stay unchanged).
+inline void ReportStatus(LoadStatus status, LoadStatus* out) {
+  if (out != nullptr) *out = std::move(status);
+}
+
+}  // namespace gstream
+
+#endif  // GSTREAM_UTIL_STATUS_H_

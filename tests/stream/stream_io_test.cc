@@ -79,7 +79,82 @@ TEST(StreamIoTest, FileRoundTrip) {
 }
 
 TEST(StreamIoTest, LoadMissingFileFails) {
-  EXPECT_FALSE(LoadStream("/nonexistent/path/stream.txt").has_value());
+  LoadStatus status;
+  EXPECT_FALSE(LoadStream("/nonexistent/path/stream.txt", &status)
+                   .has_value());
+  EXPECT_EQ(status.error, LoadError::kIoError);
+  EXPECT_NE(status.message.find("/nonexistent/path/stream.txt"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption coverage: every malformed input comes back as (nullopt,
+// reason, line number) -- never UB, never abort.  The reason codes are
+// asserted exactly so a refactor cannot silently merge failure modes.
+// ---------------------------------------------------------------------------
+
+LoadStatus StatusOf(const std::string& text) {
+  LoadStatus status;
+  EXPECT_FALSE(StreamFromText(text, &status).has_value()) << text;
+  return status;
+}
+
+TEST(StreamIoCorruptionTest, EmptyFile) {
+  EXPECT_EQ(StatusOf("").error, LoadError::kBadMagic);
+  EXPECT_EQ(StatusOf("# only comments\n\n  \n").error, LoadError::kBadMagic);
+}
+
+TEST(StreamIoCorruptionTest, HeaderGarbage) {
+  const LoadStatus magic = StatusOf("gstream-v2 16\n1 1\n");
+  EXPECT_EQ(magic.error, LoadError::kBadMagic);
+  EXPECT_NE(magic.message.find("line 1"), std::string::npos);
+
+  // Header on a later line: the diagnostic names *that* line.
+  const LoadStatus late = StatusOf("# saved\n\nnot-a-header 16\n");
+  EXPECT_EQ(late.error, LoadError::kBadMagic);
+  EXPECT_NE(late.message.find("line 3"), std::string::npos);
+
+  EXPECT_EQ(StatusOf("gstream-v1 sixteen\n").error, LoadError::kParseError);
+  EXPECT_EQ(StatusOf("gstream-v1 16 junk\n1 1\n").error,
+            LoadError::kParseError);
+  EXPECT_EQ(StatusOf("gstream-v1 0\n").error, LoadError::kDomainError);
+}
+
+TEST(StreamIoCorruptionTest, TruncatedFile) {
+  // A write cut off mid-record leaves a line with a lone item and no
+  // delta; the loader reports the exact line.
+  const LoadStatus status = StatusOf("gstream-v1 16\n3 7\n5\n");
+  EXPECT_EQ(status.error, LoadError::kParseError);
+  EXPECT_NE(status.message.find("line 3"), std::string::npos);
+  // Truncation that removes the update lines entirely still parses (an
+  // empty stream is legal), and a header cut mid-token does not.
+  EXPECT_TRUE(StreamFromText("gstream-v1 16\n").has_value());
+  EXPECT_EQ(StatusOf("gstream-v1\n").error, LoadError::kParseError);
+}
+
+TEST(StreamIoCorruptionTest, OutOfDomainItem) {
+  const LoadStatus status = StatusOf("gstream-v1 16\n1 1\n16 1\n");
+  EXPECT_EQ(status.error, LoadError::kDomainError);
+  EXPECT_NE(status.message.find("line 3"), std::string::npos);
+  EXPECT_NE(status.message.find("16"), std::string::npos);
+}
+
+TEST(StreamIoCorruptionTest, IntegerOverflow) {
+  // 2^64 and a delta beyond int64_t range: both overflow their fields and
+  // must be parse errors, not silent wraparound.
+  EXPECT_EQ(StatusOf("gstream-v1 16\n18446744073709551616 1\n").error,
+            LoadError::kParseError);
+  EXPECT_EQ(StatusOf("gstream-v1 16\n1 99999999999999999999\n").error,
+            LoadError::kParseError);
+  EXPECT_EQ(StatusOf("gstream-v1 99999999999999999999999\n").error,
+            LoadError::kParseError);
+}
+
+TEST(StreamIoCorruptionTest, SuccessReportsOk) {
+  LoadStatus status = LoadStatus::Fail(LoadError::kIoError, "stale");
+  EXPECT_TRUE(StreamFromText("gstream-v1 16\n1 1\n", &status).has_value());
+  EXPECT_TRUE(status.ok());
+  EXPECT_TRUE(status.message.empty());
 }
 
 }  // namespace

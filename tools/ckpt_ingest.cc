@@ -1,0 +1,184 @@
+// Checkpointed sharded ingestion runner: the crash/restart integration
+// target.
+//
+// `--mode=run` regenerates the canonical stream from --stream-seed, opens a
+// ShardedIngestor of same-seed CountSketchTopK replicas (the composite
+// sink whose candidate metadata observes chunk framing -- the hardest case
+// for bit-exact resume), and feeds it through RunWithCheckpoints: every
+// --interval updates the engine quiesces and the shard sketches + producer
+// routing state land in --ckpt via write-tmp-fsync-rename.  At end of
+// stream the shards merge and the final sketch is written to --out.
+//
+// With --resume, an existing checkpoint is loaded first (any corruption is
+// reported with its precise reason and the run starts over from zero) and
+// the feed continues from the saved cursor.  With --kill-after=N the
+// process SIGKILLs itself right after the first checkpoint at cursor >= N
+// -- no cleanup, no flushes, exactly like a crash.  The kill/resume
+// integration test runs:   run --kill-after=N  ->  (dies)  ->
+// run --resume  and pins the final blob byte-identical to an uninterrupted
+// run, which is the checkpoint/restart bit-exactness contract.
+//
+// `--fault=before-tmp|mid-tmp|before-rename` injects a torn checkpoint
+// write at the chosen phase (the feed stops there, as if the process died
+// mid-write); a subsequent --resume must either load the previous complete
+// checkpoint or report a clean failure -- never parse garbage.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "persist/checkpoint.h"
+#include "persist/sketch_io.h"
+#include "sketch/count_sketch.h"
+#include "stream/generators.h"
+#include "util/random.h"
+
+namespace gstream {
+namespace {
+
+struct Flags {
+  std::string mode = "run";
+  std::string ckpt;
+  std::string out;
+  uint64_t seed = 42;
+  uint64_t stream_seed = 7;
+  uint64_t domain = 1 << 20;
+  size_t items = 5000;
+  size_t rows = 5;
+  size_t buckets = 1024;
+  size_t k = 32;
+  size_t shards = 3;
+  uint64_t interval = 8 * kStreamBatchSize;
+  uint64_t kill_after = 0;  // 0 = never
+  bool resume = false;
+  WriteFault fault = WriteFault::kNone;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (ParseFlag(a, "--mode", &v)) f.mode = v;
+    else if (ParseFlag(a, "--ckpt", &v)) f.ckpt = v;
+    else if (ParseFlag(a, "--out", &v)) f.out = v;
+    else if (ParseFlag(a, "--seed", &v)) f.seed = std::strtoull(v.c_str(), nullptr, 10);
+    else if (ParseFlag(a, "--stream-seed", &v)) f.stream_seed = std::strtoull(v.c_str(), nullptr, 10);
+    else if (ParseFlag(a, "--domain", &v)) f.domain = std::strtoull(v.c_str(), nullptr, 10);
+    else if (ParseFlag(a, "--items", &v)) f.items = std::strtoull(v.c_str(), nullptr, 10);
+    else if (ParseFlag(a, "--rows", &v)) f.rows = std::strtoull(v.c_str(), nullptr, 10);
+    else if (ParseFlag(a, "--buckets", &v)) f.buckets = std::strtoull(v.c_str(), nullptr, 10);
+    else if (ParseFlag(a, "--k", &v)) f.k = std::strtoull(v.c_str(), nullptr, 10);
+    else if (ParseFlag(a, "--shards", &v)) f.shards = std::strtoull(v.c_str(), nullptr, 10);
+    else if (ParseFlag(a, "--interval", &v)) f.interval = std::strtoull(v.c_str(), nullptr, 10);
+    else if (ParseFlag(a, "--kill-after", &v)) f.kill_after = std::strtoull(v.c_str(), nullptr, 10);
+    else if (std::strcmp(a, "--resume") == 0) f.resume = true;
+    else if (ParseFlag(a, "--fault", &v)) {
+      if (v == "before-tmp") f.fault = WriteFault::kCrashBeforeTmp;
+      else if (v == "mid-tmp") f.fault = WriteFault::kCrashMidTmp;
+      else if (v == "before-rename") f.fault = WriteFault::kCrashBeforeRename;
+      else { std::fprintf(stderr, "ckpt_ingest: unknown --fault=%s\n", v.c_str()); std::exit(2); }
+    } else {
+      std::fprintf(stderr, "ckpt_ingest: unknown flag %s\n", a);
+      std::exit(2);
+    }
+  }
+  return f;
+}
+
+Stream MakeCanonicalStream(const Flags& f) {
+  Rng rng(f.stream_seed);
+  StreamShapeOptions shape;
+  shape.churn_pairs = 2000;
+  Workload workload =
+      MakeZipfWorkload(f.domain, f.items, 1.1, 50000, shape, rng);
+  return std::move(workload.stream);
+}
+
+int Run(const Flags& f) {
+  if (f.ckpt.empty() || f.out.empty()) {
+    std::fprintf(stderr, "ckpt_ingest: --ckpt and --out required\n");
+    return 2;
+  }
+  const Stream stream = MakeCanonicalStream(f);
+
+  IngestEngineOptions engine_options;
+  engine_options.shards = f.shards;
+  engine_options.policy = PartitionPolicy::kRoundRobinChunks;
+  ShardedIngestor<CountSketchTopK> ingest(engine_options, [&f](size_t) {
+    Rng rng(f.seed);  // same seed per shard => mergeable replicas
+    return CountSketchTopK(CountSketchOptions{f.rows, f.buckets}, f.k, rng);
+  });
+  ingest.Open(f.shards);
+
+  uint64_t start = 0;
+  if (f.resume) {
+    CheckpointImage image;
+    LoadStatus status = LoadCheckpoint(f.ckpt, &image);
+    if (status.ok()) status = RestoreIngestor(image, &ingest);
+    if (status.ok()) {
+      start = image.cursor;
+      std::printf("resumed from %s at cursor %llu\n", f.ckpt.c_str(),
+                  static_cast<unsigned long long>(start));
+    } else {
+      std::fprintf(stderr, "ckpt_ingest: checkpoint unusable (%s: %s); "
+                           "starting over\n",
+                   LoadErrorName(status.error), status.message.c_str());
+    }
+  }
+
+  CheckpointOptions ckpt_options;
+  ckpt_options.path = f.ckpt;
+  ckpt_options.interval_updates = f.interval;
+  ckpt_options.fault = f.fault;
+
+  const uint64_t kill_after = f.kill_after;
+  const uint64_t cursor = RunWithCheckpoints<CountSketchTopK>(
+      ingest, stream, start, ckpt_options, [kill_after](uint64_t c) {
+        if (kill_after != 0 && c >= kill_after) {
+          // Crash for real: no destructors, no flushes.  The durable state
+          // is whatever the just-completed atomic rename left behind.
+          std::raise(SIGKILL);
+        }
+        return true;
+      });
+  if (cursor < stream.length()) {
+    std::fprintf(stderr,
+                 "ckpt_ingest: stopped at cursor %llu of %llu "
+                 "(checkpoint write failed)\n",
+                 static_cast<unsigned long long>(cursor),
+                 static_cast<unsigned long long>(stream.length()));
+    return 1;
+  }
+
+  CountSketchTopK& merged = ingest.Close();
+  if (!SaveSketch(merged, f.out)) {
+    std::fprintf(stderr, "ckpt_ingest: cannot write %s\n", f.out.c_str());
+    return 1;
+  }
+  const IngestStats& stats = ingest.stats();
+  std::printf("done: %llu updates, %llu chunks, %llu stalls -> %s\n",
+              static_cast<unsigned long long>(stats.updates_submitted),
+              static_cast<unsigned long long>(stats.chunks_committed),
+              static_cast<unsigned long long>(stats.producer_stalls),
+              f.out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace gstream
+
+int main(int argc, char** argv) {
+  const gstream::Flags flags = gstream::ParseFlags(argc, argv);
+  return gstream::Run(flags);
+}

@@ -21,6 +21,8 @@
 //
 // Run via the `bench` CMake target or bench/run_all.sh; flags:
 //   --out PATH     JSON output path (default BENCH_sketch.json)
+//   --trace PATH   also record engine lifecycle spans and write them as
+//                  chrome://tracing trace-event JSON (docs/observability.md)
 //   --updates N    CountSketch/Count-Min stream length (default 10000000)
 //   --quick        divide all workloads by 20 (CI smoke mode)
 
@@ -35,6 +37,9 @@
 
 #include "bench/harness.h"
 #include "core/gnp_sketch.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
 #include "core/gsum.h"
 #include "core/one_pass_hh.h"
 #include "core/recursive_sketch.h"
@@ -215,13 +220,34 @@ std::string CpuModelString() {
   return model;
 }
 
+// Wraps Measure with snapshot-delta attribution against a shared registry
+// histogram: the delta between the before/after snapshots is exactly the
+// samples this variant's runs recorded, so one process-wide histogram
+// yields per-variant batch-latency percentiles.  Pass the histogram the
+// variant's drive path records into ("sketch/batch_ns" for ForEachBatch
+// drives, "engine/sink_batch_ns" for engine-fed ones), or nullptr for
+// per-update variants.
+template <typename Fn>
+BenchResult MeasureBatched(obs::Histogram* hist, const std::string& name,
+                           size_t updates, size_t repeats, Fn&& fn) {
+  obs::HistogramSnapshot before;
+  if (hist != nullptr) before = hist->Snapshot();
+  BenchResult result = Measure(name, updates, repeats, std::forward<Fn>(fn));
+  if (hist != nullptr) {
+    result.batch_ns = hist->Snapshot();
+    result.batch_ns.SubtractBaseline(before);
+  }
+  return result;
+}
+
 // Runs `fn` with the kernel layer pinned to the scalar reference tier,
 // restoring CPUID dispatch afterwards.
 template <typename Fn>
-BenchResult MeasureScalarTier(const std::string& name, size_t updates,
-                              size_t repeats, Fn&& fn) {
+BenchResult MeasureScalarTier(obs::Histogram* hist, const std::string& name,
+                              size_t updates, size_t repeats, Fn&& fn) {
   simd::ForceIsaTier(simd::IsaTier::kScalar);
-  BenchResult result = Measure(name, updates, repeats, std::forward<Fn>(fn));
+  BenchResult result =
+      MeasureBatched(hist, name, updates, repeats, std::forward<Fn>(fn));
   simd::ClearForcedIsaTier();
   return result;
 }
@@ -285,11 +311,14 @@ size_t DriveSharded(const Stream& stream, size_t shards,
 
 int Run(int argc, char** argv) {
   std::string out_path = "BENCH_sketch.json";
+  std::string trace_path;
   size_t cs_updates = 10000000;
   size_t divisor = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--updates") == 0 && i + 1 < argc) {
       cs_updates = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--quick") == 0) {
@@ -299,6 +328,15 @@ int Run(int argc, char** argv) {
       return 1;
     }
   }
+  if (!trace_path.empty()) obs::TraceLog::Get().Enable();
+  // The two batch-latency histograms the drive paths record into: every
+  // ForEachBatch kernel call lands in sketch/batch_ns (sampled), every
+  // engine worker sink call in engine/sink_batch_ns.  Snapshot deltas
+  // around each Measure attribute them per variant.
+  obs::Histogram* const sketch_batch_ns =
+      obs::Registry::Get().GetHistogram("sketch/batch_ns");
+  obs::Histogram* const engine_batch_ns =
+      obs::Registry::Get().GetHistogram("engine/sink_batch_ns");
   cs_updates /= divisor;
   const size_t ams_updates = 2000000 / divisor;
   const size_t gnp_updates = 1000000 / divisor;
@@ -348,10 +386,10 @@ int Run(int argc, char** argv) {
     CountSketch cs(CountSketchOptions{5, 1024}, rng);
     return DriveBatched(cs, stream);
   };
-  report.Add(MeasureScalarTier("count_sketch/batched", stream.length(),
-                               repeats, run_cs_batched));
-  report.Add(Measure("count_sketch/batched_simd", stream.length(), repeats,
-                     run_cs_batched));
+  report.Add(MeasureScalarTier(sketch_batch_ns, "count_sketch/batched",
+                               stream.length(), repeats, run_cs_batched));
+  report.Add(MeasureBatched(sketch_batch_ns, "count_sketch/batched_simd",
+                            stream.length(), repeats, run_cs_batched));
 
   // Sharded ingestion engine scaling (1/2/4/8 workers, round-robin chunks,
   // plus hash-by-item at 4): the full Open -> Submit -> Close -> merge
@@ -363,31 +401,27 @@ int Run(int argc, char** argv) {
     // The 4-shard run donates its ingest accounting (producer stalls,
     // per-shard chunk/update routing) to the JSON workload section.
     IngestStats* stats_out = shards == 4 ? &sharded4_stats : nullptr;
-    report.Add(Measure("count_sketch/sharded" + std::to_string(shards),
-                       stream.length(), repeats, [&, shards, stats_out] {
-                         return DriveSharded(
-                             stream, shards,
-                             PartitionPolicy::kRoundRobinChunks, [](size_t) {
-                               Rng rng(1);
-                               return CountSketch(CountSketchOptions{5, 1024},
-                                                  rng);
-                             },
-                             stats_out);
-                       }));
+    report.Add(MeasureBatched(
+        engine_batch_ns, "count_sketch/sharded" + std::to_string(shards),
+        stream.length(), repeats, [&, shards, stats_out] {
+          return DriveSharded(
+              stream, shards, PartitionPolicy::kRoundRobinChunks,
+              [](size_t) {
+                Rng rng(1);
+                return CountSketch(CountSketchOptions{5, 1024}, rng);
+              },
+              stats_out);
+        }));
   }
-  report.SetIngest("count_sketch/sharded4", sharded4_stats.updates_submitted,
-                   sharded4_stats.chunks_committed,
-                   sharded4_stats.producer_stalls,
-                   sharded4_stats.shard_updates);
-  report.Add(Measure("count_sketch/sharded4_hash", stream.length(), repeats,
-                     [&] {
-                       return DriveSharded(
-                           stream, 4, PartitionPolicy::kHashItem, [](size_t) {
-                             Rng rng(1);
-                             return CountSketch(CountSketchOptions{5, 1024},
-                                                rng);
-                           });
-                     }));
+  report.SetIngest("count_sketch/sharded4", sharded4_stats);
+  report.Add(MeasureBatched(
+      engine_batch_ns, "count_sketch/sharded4_hash", stream.length(), repeats,
+      [&] {
+        return DriveSharded(stream, 4, PartitionPolicy::kHashItem, [](size_t) {
+          Rng rng(1);
+          return CountSketch(CountSketchOptions{5, 1024}, rng);
+        });
+      }));
 
   // Count-Min (rows 5, buckets 1024).
   report.Add(Measure("count_min/seed_single", stream.length(), repeats, [&] {
@@ -405,10 +439,10 @@ int Run(int argc, char** argv) {
     CountMinSketch cm(CountMinOptions{5, 1024}, rng);
     return DriveBatched(cm, stream);
   };
-  report.Add(MeasureScalarTier("count_min/batched", stream.length(), repeats,
-                               run_cm_batched));
-  report.Add(Measure("count_min/batched_simd", stream.length(), repeats,
-                     run_cm_batched));
+  report.Add(MeasureScalarTier(sketch_batch_ns, "count_min/batched",
+                               stream.length(), repeats, run_cm_batched));
+  report.Add(MeasureBatched(sketch_batch_ns, "count_min/batched_simd",
+                            stream.length(), repeats, run_cm_batched));
 
   // AMS (16 x 5 estimators).
   report.Add(Measure("ams/seed_single", ams_stream.length(), repeats, [&] {
@@ -426,10 +460,11 @@ int Run(int argc, char** argv) {
     AmsSketch ams(AmsOptions{16, 5}, rng);
     return DriveBatched(ams, ams_stream);
   };
-  report.Add(MeasureScalarTier("ams/batched", ams_stream.length(), repeats,
+  report.Add(MeasureScalarTier(sketch_batch_ns, "ams/batched",
+                               ams_stream.length(), repeats,
                                run_ams_batched));
-  report.Add(Measure("ams/batched_simd", ams_stream.length(), repeats,
-                     run_ams_batched));
+  report.Add(MeasureBatched(sketch_batch_ns, "ams/batched_simd",
+                            ams_stream.length(), repeats, run_ams_batched));
 
   // g_np sketch (64 substreams, 24 trials, 20 id bits).
   GnpSketchOptions gnp_options;
@@ -439,11 +474,12 @@ int Run(int argc, char** argv) {
     GnpHeavyHitter gnp(gnp_options, rng);
     return DriveSingle(gnp, gnp_stream);
   }));
-  report.Add(Measure("gnp/batched", gnp_stream.length(), repeats, [&] {
-    Rng rng(4);
-    GnpHeavyHitter gnp(gnp_options, rng);
-    return DriveBatched(gnp, gnp_stream);
-  }));
+  report.Add(MeasureBatched(sketch_batch_ns, "gnp/batched",
+                            gnp_stream.length(), repeats, [&] {
+                              Rng rng(4);
+                              GnpHeavyHitter gnp(gnp_options, rng);
+                              return DriveBatched(gnp, gnp_stream);
+                            }));
 
   // One-pass heavy hitter (CountSketchTopK tracker + AMS), sequential
   // batched vs engine-fed: sharded1 bounds the engine overhead for a
@@ -453,22 +489,23 @@ int Run(int argc, char** argv) {
   hh_options.count_sketch = CountSketchOptions{5, 1024};
   hh_options.ams = AmsOptions{16, 5};
   hh_options.candidates = 48;
-  report.Add(Measure("one_pass_hh/batched", gsum_stream.length(), repeats,
-                     [&] {
-                       const OnePassHeavyHitter hh =
-                           ProcessOnePassHH(hh_options, 5, gsum_stream);
-                       return hh.SpaceBytes();
-                     }));
+  report.Add(MeasureBatched(sketch_batch_ns, "one_pass_hh/batched",
+                            gsum_stream.length(), repeats, [&] {
+                              const OnePassHeavyHitter hh = ProcessOnePassHH(
+                                  hh_options, 5, gsum_stream);
+                              return hh.SpaceBytes();
+                            }));
   for (const size_t shards : {size_t{1}, size_t{4}}) {
-    report.Add(Measure("one_pass_hh/sharded" + std::to_string(shards),
-                       gsum_stream.length(), repeats, [&, shards] {
-                         OnePassHHOptions sharded = hh_options;
-                         sharded.parallel_ingest = true;
-                         sharded.ingest_shards = shards;
-                         const OnePassHeavyHitter hh =
-                             ProcessOnePassHH(sharded, 5, gsum_stream);
-                         return hh.SpaceBytes();
-                       }));
+    report.Add(MeasureBatched(
+        engine_batch_ns, "one_pass_hh/sharded" + std::to_string(shards),
+        gsum_stream.length(), repeats, [&, shards] {
+          OnePassHHOptions sharded = hh_options;
+          sharded.parallel_ingest = true;
+          sharded.ingest_shards = shards;
+          const OnePassHeavyHitter hh =
+              ProcessOnePassHH(sharded, 5, gsum_stream);
+          return hh.SpaceBytes();
+        }));
   }
 
   // One whole Theorem-13 recursive stack (6 levels of OnePassHH over the
@@ -482,32 +519,32 @@ int Run(int argc, char** argv) {
     return std::make_unique<OnePassHeavyHitter>(hh_options, rng);
   };
   constexpr int kRecursiveLevels = 6;
-  report.Add(Measure("recursive_gsum/batched", gsum_stream.length(), repeats,
-                     [&] {
-                       Rng rng(6);
-                       RecursiveGSum stack(kRecursiveLevels, recursive_factory,
-                                           rng);
-                       gsum_stream.ForEachBatch(
-                           kStreamBatchSize, [&](const Update* ups, size_t n) {
-                             stack.UpdateBatch(ups, n);
-                           });
-                       return stack.SpaceBytes();
-                     }));
+  report.Add(MeasureBatched(
+      sketch_batch_ns, "recursive_gsum/batched", gsum_stream.length(),
+      repeats, [&] {
+        Rng rng(6);
+        RecursiveGSum stack(kRecursiveLevels, recursive_factory, rng);
+        gsum_stream.ForEachBatch(kStreamBatchSize,
+                                 [&](const Update* ups, size_t n) {
+                                   stack.UpdateBatch(ups, n);
+                                 });
+        return stack.SpaceBytes();
+      }));
   for (const size_t shards : {size_t{1}, size_t{4}}) {
-    report.Add(Measure("recursive_gsum/sharded" + std::to_string(shards),
-                       gsum_stream.length(), repeats, [&, shards] {
-                         IngestEngineOptions engine_options;
-                         engine_options.shards = shards;
-                         ShardedIngestor<RecursiveGSum> ingest(
-                             engine_options, [&recursive_factory](size_t) {
-                               Rng rng(6);
-                               return RecursiveGSum(kRecursiveLevels,
-                                                    recursive_factory, rng);
-                             });
-                         ingest.Open();
-                         ingest.SubmitStream(gsum_stream);
-                         return ingest.Close().SpaceBytes();
-                       }));
+    report.Add(MeasureBatched(
+        engine_batch_ns, "recursive_gsum/sharded" + std::to_string(shards),
+        gsum_stream.length(), repeats, [&, shards] {
+          IngestEngineOptions engine_options;
+          engine_options.shards = shards;
+          ShardedIngestor<RecursiveGSum> ingest(
+              engine_options, [&recursive_factory](size_t) {
+                Rng rng(6);
+                return RecursiveGSum(kRecursiveLevels, recursive_factory, rng);
+              });
+          ingest.Open();
+          ingest.SubmitStream(gsum_stream);
+          return ingest.Close().SpaceBytes();
+        }));
   }
 
   // End-to-end one-pass g-sum pipeline (3 repetitions of the recursive
@@ -523,14 +560,17 @@ int Run(int argc, char** argv) {
     for (const Update& u : gsum_stream.updates()) est.Update(u.item, u.delta);
     return est.SpaceBytes();
   }));
-  report.Add(Measure("gsum/batched", gsum_stream.length(), repeats, [&] {
-    GSumEstimator est(MakePower(2.0), kDomain, gsum_options);
-    gsum_stream.ForEachBatch(kStreamBatchSize,
-                             [&](const Update* ups, size_t n) {
-                               est.UpdateBatch(ups, n);
-                             });
-    return est.SpaceBytes();
-  }));
+  report.Add(MeasureBatched(sketch_batch_ns, "gsum/batched",
+                            gsum_stream.length(), repeats, [&] {
+                              GSumEstimator est(MakePower(2.0), kDomain,
+                                                gsum_options);
+                              gsum_stream.ForEachBatch(
+                                  kStreamBatchSize,
+                                  [&](const Update* ups, size_t n) {
+                                    est.UpdateBatch(ups, n);
+                                  });
+                              return est.SpaceBytes();
+                            }));
 
   // Durability tax (docs/persistence.md): the checkpointed ingestion the
   // crash/restart tools run, swept over the checkpoint interval Daly-style
@@ -558,13 +598,15 @@ int Run(int argc, char** argv) {
     }
     return ingest.Close().SpaceBytes();
   };
-  report.Add(Measure("persist/no_ckpt", gsum_stream.length(), repeats,
-                     [&] { return run_ckpt(0); }));
+  report.Add(MeasureBatched(engine_batch_ns, "persist/no_ckpt",
+                            gsum_stream.length(), repeats,
+                            [&] { return run_ckpt(0); }));
   for (const uint64_t chunks : {uint64_t{4}, uint64_t{16}, uint64_t{64}}) {
     const uint64_t interval = chunks * kStreamBatchSize;
-    report.Add(Measure("persist/ckpt_interval" + std::to_string(interval),
-                       gsum_stream.length(), repeats,
-                       [&, interval] { return run_ckpt(interval); }));
+    report.Add(MeasureBatched(
+        engine_batch_ns, "persist/ckpt_interval" + std::to_string(interval),
+        gsum_stream.length(), repeats,
+        [&, interval] { return run_ckpt(interval); }));
   }
   std::remove(ckpt_path.c_str());
 
@@ -615,9 +657,23 @@ int Run(int argc, char** argv) {
                       "persist/ckpt_interval" + interval, "persist/no_ckpt");
   }
 
+  // The whole-process registry view rides along in the report ("obs"
+  // block, indented to match WriteJson's layout); empty-but-valid under
+  // GSTREAM_OBS=OFF.
+  report.SetObs(obs::CurrentSnapshotJson("  "));
+
   report.PrintTable(stdout);
   if (!report.WriteJson(out_path)) return 1;
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  if (!trace_path.empty()) {
+    obs::TraceLog::Get().Disable();
+    if (!obs::TraceLog::Get().Write(trace_path)) {
+      std::fprintf(stderr, "failed to write trace %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s (%zu events)\n", trace_path.c_str(),
+                 obs::TraceLog::Get().EventCount());
+  }
   return 0;
 }
 

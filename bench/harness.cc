@@ -49,16 +49,14 @@ void BenchReport::SetEnvironment(const std::string& isa_tier,
 }
 
 void BenchReport::SetIngest(const std::string& benchmark,
-                            uint64_t updates_submitted,
-                            uint64_t chunks_committed,
-                            uint64_t producer_stalls,
-                            std::vector<uint64_t> shard_updates) {
+                            const IngestStats& stats) {
   has_ingest_ = true;
   ingest_benchmark_ = benchmark;
-  ingest_updates_submitted_ = updates_submitted;
-  ingest_chunks_committed_ = chunks_committed;
-  ingest_producer_stalls_ = producer_stalls;
-  ingest_shard_updates_ = std::move(shard_updates);
+  ingest_stats_ = stats;
+}
+
+void BenchReport::SetObs(std::string obs_json) {
+  obs_json_ = std::move(obs_json);
 }
 
 void BenchReport::Add(BenchResult result) {
@@ -117,13 +115,21 @@ bool BenchReport::WriteJson(const std::string& path) const {
                  "  \"ingest\": {\"benchmark\": \"%s\", "
                  "\"updates_submitted\": %" PRIu64
                  ", \"chunks_committed\": %" PRIu64
-                 ", \"producer_stalls\": %" PRIu64 ", \"shard_updates\": [",
+                 ", \"producer_stalls\": %" PRIu64
+                 ", \"producer_stall_ns\": %" PRIu64 ", \"shard_updates\": [",
                  JsonEscape(ingest_benchmark_).c_str(),
-                 ingest_updates_submitted_, ingest_chunks_committed_,
-                 ingest_producer_stalls_);
-    for (size_t i = 0; i < ingest_shard_updates_.size(); ++i) {
+                 ingest_stats_.updates_submitted,
+                 ingest_stats_.chunks_committed,
+                 ingest_stats_.producer_stalls,
+                 ingest_stats_.producer_stall_ns);
+    for (size_t i = 0; i < ingest_stats_.shard_updates.size(); ++i) {
       std::fprintf(f, "%s%" PRIu64, i > 0 ? ", " : "",
-                   ingest_shard_updates_[i]);
+                   ingest_stats_.shard_updates[i]);
+    }
+    std::fprintf(f, "], \"shard_ring_highwater\": [");
+    for (size_t i = 0; i < ingest_stats_.shard_ring_highwater.size(); ++i) {
+      std::fprintf(f, "%s%" PRIu64, i > 0 ? ", " : "",
+                   ingest_stats_.shard_ring_highwater[i]);
     }
     std::fprintf(f, "]},\n");
   }
@@ -132,10 +138,22 @@ bool BenchReport::WriteJson(const std::string& path) const {
     const BenchResult& r = results_[i];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"updates\": %zu, \"seconds\": "
-                 "%.6f, \"updates_per_sec\": %.1f, \"space_bytes\": %zu}%s\n",
+                 "%.6f, \"updates_per_sec\": %.1f, \"space_bytes\": %zu",
                  JsonEscape(r.name).c_str(), r.updates, r.seconds,
-                 r.updates_per_sec, r.space_bytes,
-                 i + 1 < results_.size() ? "," : "");
+                 r.updates_per_sec, r.space_bytes);
+    if (!r.batch_ns.empty()) {
+      std::fprintf(f,
+                   ", \"batch_ns\": {\"count\": %" PRIu64 ", \"p50\": %" PRIu64
+                   ", \"p90\": %" PRIu64 ", \"p99\": %" PRIu64
+                   ", \"p999\": %" PRIu64 ", \"max\": %" PRIu64
+                   ", \"mean\": %.1f}",
+                   r.batch_ns.count, r.batch_ns.ValueAtPercentile(0.50),
+                   r.batch_ns.ValueAtPercentile(0.90),
+                   r.batch_ns.ValueAtPercentile(0.99),
+                   r.batch_ns.ValueAtPercentile(0.999), r.batch_ns.max,
+                   r.batch_ns.Mean());
+    }
+    std::fprintf(f, "}%s\n", i + 1 < results_.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"speedups\": {\n");
   for (size_t i = 0; i < speedups_.size(); ++i) {
@@ -143,7 +161,11 @@ bool BenchReport::WriteJson(const std::string& path) const {
                  JsonEscape(speedups_[i].first).c_str(), speedups_[i].second,
                  i + 1 < speedups_.size() ? "," : "");
   }
-  std::fprintf(f, "  }\n}\n");
+  if (!obs_json_.empty()) {
+    std::fprintf(f, "  },\n  \"obs\": %s\n}\n", obs_json_.c_str());
+  } else {
+    std::fprintf(f, "  }\n}\n");
+  }
   const bool ok = std::fclose(f) == 0;
   if (!ok) std::fprintf(stderr, "BenchReport: write to %s failed\n",
                         path.c_str());

@@ -32,6 +32,9 @@
 #include <utility>
 #include <vector>
 
+#include "engine/ingest_engine.h"
+#include "obs/metrics.h"
+
 namespace gstream {
 namespace bench {
 
@@ -56,6 +59,11 @@ struct BenchResult {
   double seconds = 0.0;    // wall time of the measured loop (best of N)
   double updates_per_sec = 0.0;
   size_t space_bytes = 0;  // sketch state after the run
+  // Per-batch kernel latency attributed to this variant (snapshot delta of
+  // the registry histogram around the measured runs; empty when the
+  // variant has no batched drive or GSTREAM_OBS=OFF).  Serialized as a
+  // "batch_ns" percentile object in the JSON report.
+  obs::HistogramSnapshot batch_ns;
 };
 
 // Accumulates results and derived speedups, prints a human-readable table,
@@ -73,13 +81,17 @@ class BenchReport {
                       const std::string& cpu_model);
 
   // Engine ingest accounting from one sharded run (`benchmark` names which
-  // one): producer stalls plus chunk/update routing per shard.  Recorded in
-  // the JSON so engine scheduling regressions -- a shard starving, the
-  // producer blocking on full rings -- are visible next to the throughput
-  // numbers they would explain.
-  void SetIngest(const std::string& benchmark, uint64_t updates_submitted,
-                 uint64_t chunks_committed, uint64_t producer_stalls,
-                 std::vector<uint64_t> shard_updates);
+  // one): producer stalls (count and total blocked ns), chunk/update
+  // routing and ring-occupancy high-water per shard.  Recorded in the JSON
+  // so engine scheduling regressions -- a shard starving, the producer
+  // blocking on full rings -- are visible next to the throughput numbers
+  // they would explain.
+  void SetIngest(const std::string& benchmark, const IngestStats& stats);
+
+  // A pre-rendered registry-snapshot JSON object (obs::SnapshotJson with
+  // this report's indentation) embedded verbatim as the report's "obs"
+  // block: the whole-process metrics view next to the per-variant numbers.
+  void SetObs(std::string obs_json);
 
   void Add(BenchResult result);
 
@@ -111,10 +123,8 @@ class BenchReport {
   std::string cpu_model_ = "unknown";
   bool has_ingest_ = false;
   std::string ingest_benchmark_;
-  uint64_t ingest_updates_submitted_ = 0;
-  uint64_t ingest_chunks_committed_ = 0;
-  uint64_t ingest_producer_stalls_ = 0;
-  std::vector<uint64_t> ingest_shard_updates_;
+  IngestStats ingest_stats_;
+  std::string obs_json_;
   std::vector<BenchResult> results_;
   std::vector<std::pair<std::string, double>> speedups_;
 };

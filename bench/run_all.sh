@@ -15,5 +15,14 @@ build_dir="${repo_root}/build"
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" --target bench_sketch -j "$(nproc)"
 
-"${build_dir}/bench_sketch" --out "${repo_root}/BENCH_sketch.json" "$@"
+# Propagate the bench binary's exit status explicitly: `set -e` is disabled
+# by some callers (`sh bench/run_all.sh`, `run_all.sh && ...` contexts), and
+# a failed bench must never leave a stale BENCH_sketch.json looking fresh.
+status=0
+"${build_dir}/bench_sketch" --out "${repo_root}/BENCH_sketch.json" "$@" ||
+  status=$?
+if [ "${status}" -ne 0 ]; then
+  echo "bench_sketch failed with exit ${status}" >&2
+  exit "${status}"
+fi
 echo "BENCH_sketch.json written to ${repo_root}"

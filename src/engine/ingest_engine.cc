@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -29,9 +30,35 @@ IngestEngine::IngestEngine(const IngestEngineOptions& options,
   GSTREAM_CHECK_LE(options.chunk_updates, kStreamBatchSize);
   shards_.reserve(options.shards);
   stats_.shard_updates.assign(options.shards, 0);
+  stats_.shard_ring_highwater.assign(options.shards, 0);
+  obs_synced_ = stats_;
+  // Instrument handles are fetched once here (registration is the only
+  // locked path); the routing hot path only ever touches stats_, which is
+  // mirrored into the registry at quiesce points (SyncObsRegistry).
+  obs::Registry& registry = obs::Registry::Get();
+  obs_.updates_submitted = registry.GetCounter("engine/updates_submitted");
+  obs_.chunks_committed = registry.GetCounter("engine/chunks_committed");
+  obs_.producer_stalls = registry.GetCounter("engine/producer_stalls");
+  obs_.producer_stall_ns =
+      registry.GetHistogram("engine/producer_stall_ns");
+  obs_.flush_ns = registry.GetHistogram("engine/flush_ns");
+  obs::Histogram* const batch_size =
+      registry.GetHistogram("engine/batch_size");
+  obs::Histogram* const sink_batch_ns =
+      registry.GetHistogram("engine/sink_batch_ns");
+  obs_.shard_updates.reserve(options.shards);
+  obs_.shard_ring_highwater.reserve(options.shards);
+  for (size_t s = 0; s < options.shards; ++s) {
+    const std::string prefix = "engine/shard/" + std::to_string(s) + "/";
+    obs_.shard_updates.push_back(registry.GetCounter(prefix + "updates"));
+    obs_.shard_ring_highwater.push_back(
+        registry.GetGauge(prefix + "ring_highwater"));
+  }
   for (size_t s = 0; s < options.shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(s, options.ring_chunks));
     shards_.back()->sink = std::move(sinks[s]);
+    shards_.back()->obs_batch_size = batch_size;
+    shards_.back()->obs_sink_batch_ns = sink_batch_ns;
     GSTREAM_CHECK(shards_.back()->sink != nullptr);
   }
   // Start workers only after every shard exists; workers touch nothing but
@@ -58,7 +85,21 @@ void IngestEngine::WorkerLoop(Shard* shard) {
       std::this_thread::yield();
       continue;
     }
-    shard->sink(chunk->updates, chunk->n);
+    if constexpr (obs::kEnabled) {
+      // Batch-size distribution on every chunk (one slot-private atomic
+      // add per 512 updates); sink latency sampled 1-in-kBatchSampleEvery
+      // so the clock reads stay far below the kernel cost.
+      shard->obs_batch_size->Record(chunk->n);
+      if ((shard->drained_chunks++ & (obs::kBatchSampleEvery - 1)) == 0) {
+        const uint64_t t0 = obs::NowNs();
+        shard->sink(chunk->updates, chunk->n);
+        shard->obs_sink_batch_ns->Record(obs::NowNs() - t0);
+      } else {
+        shard->sink(chunk->updates, chunk->n);
+      }
+    } else {
+      shard->sink(chunk->updates, chunk->n);
+    }
     shard->ring.Pop();
   }
 }
@@ -66,11 +107,17 @@ void IngestEngine::WorkerLoop(Shard* shard) {
 UpdateChunk* IngestEngine::ReserveSpin(Shard& s) {
   UpdateChunk* slot = s.ring.TryReserve();
   if (slot != nullptr) return slot;
+  // Stall path (cold by construction -- the fast path above returned):
+  // record how long the full ring blocked us, not merely that it did.
   ++stats_.producer_stalls;
+  const uint64_t t0 = obs::NowNs();
   do {
     std::this_thread::yield();
     slot = s.ring.TryReserve();
   } while (slot == nullptr);
+  const uint64_t stall_ns = obs::NowNs() - t0;
+  stats_.producer_stall_ns += stall_ns;
+  obs_.producer_stall_ns->Record(stall_ns);
   return slot;
 }
 
@@ -85,6 +132,7 @@ void IngestEngine::AppendToShard(Shard& s, const Update& u) {
     s.ring.Commit();
     s.open = nullptr;
     ++stats_.chunks_committed;
+    NoteOccupancy(s);
   }
 }
 
@@ -96,11 +144,13 @@ void IngestEngine::CopyChunkToShard(Shard& s, const Update* updates,
   s.ring.Commit();
   stats_.shard_updates[s.index] += n;
   ++stats_.chunks_committed;
+  NoteOccupancy(s);
 }
 
 void IngestEngine::Submit(const Update* updates, size_t n) {
   GSTREAM_CHECK(!closed_);
   if (n == 0) return;
+  obs::TraceSpan span("engine/submit", "engine");
   stats_.updates_submitted += n;
   const size_t chunk = options_.chunk_updates;
   switch (options_.policy) {
@@ -132,11 +182,31 @@ void IngestEngine::Submit(const Update* updates, size_t n) {
   }
 }
 
+void IngestEngine::SyncObsRegistry() {
+  if constexpr (!obs::kEnabled) return;
+  obs_.updates_submitted->Add(stats_.updates_submitted -
+                              obs_synced_.updates_submitted);
+  obs_.chunks_committed->Add(stats_.chunks_committed -
+                             obs_synced_.chunks_committed);
+  obs_.producer_stalls->Add(stats_.producer_stalls -
+                            obs_synced_.producer_stalls);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    obs_.shard_updates[s]->Add(stats_.shard_updates[s] -
+                               obs_synced_.shard_updates[s]);
+    obs_.shard_ring_highwater[s]->UpdateMax(
+        static_cast<int64_t>(stats_.shard_ring_highwater[s]));
+  }
+  obs_synced_ = stats_;
+}
+
 void IngestEngine::Flush() {
   GSTREAM_CHECK(!closed_);
+  obs::TraceSpan span("engine/flush", "engine");
+  obs::ScopedTimer timer(obs_.flush_ns);
   for (auto& shard : shards_) {
     while (!shard->ring.Empty()) std::this_thread::yield();
   }
+  SyncObsRegistry();
 }
 
 IngestProducerState IngestEngine::SnapshotProducerState() const {
@@ -175,6 +245,12 @@ void IngestEngine::RestoreProducerState(const IngestProducerState& state) {
   // double-counted (the snapshot's stats already include those updates).
   round_robin_next_ = state.round_robin_next;
   stats_ = state.stats;
+  // Decoded checkpoints predate the telemetry vectors or carry another
+  // process's wall-clock; keep sizes sound and never re-mirror adopted
+  // history into this process's registry (it describes work this process
+  // did not perform).
+  stats_.shard_ring_highwater.resize(shards_.size(), 0);
+  obs_synced_ = stats_;
 }
 
 void IngestEngine::SubmitStream(const Stream& stream) {
@@ -183,6 +259,7 @@ void IngestEngine::SubmitStream(const Stream& stream) {
 
 void IngestEngine::Close() {
   if (closed_) return;
+  obs::TraceSpan span("engine/close", "engine");
   closed_ = true;
   for (auto& shard : shards_) {
     if (shard->open != nullptr) {
@@ -195,6 +272,7 @@ void IngestEngine::Close() {
     shard->done.store(true, std::memory_order_release);
   }
   for (auto& shard : shards_) shard->worker.join();
+  SyncObsRegistry();
 }
 
 void BroadcastStream(const Stream& stream, std::vector<BatchSink> sinks) {

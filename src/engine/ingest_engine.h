@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "engine/spsc_ring.h"
+#include "obs/metrics.h"
 #include "stream/stream.h"
 
 namespace gstream {
@@ -76,14 +77,28 @@ struct UpdateChunk {
 };
 
 // Counters accumulated over an engine's lifetime; stable after Close().
+// The same quantities (plus latency distributions) are mirrored into the
+// process-wide metrics registry under "engine/..." names at every quiesce
+// point -- this struct remains the exact per-engine view (docs/
+// observability.md).
 struct IngestStats {
   uint64_t updates_submitted = 0;
   uint64_t chunks_committed = 0;
   // Times the producer found a destination ring full and had to wait --
   // nonzero means the workers, not the feed, were the bottleneck.
   uint64_t producer_stalls = 0;
+  // Total nanoseconds the producer spent blocked on full rings, so
+  // backpressure is quantifiable, not just countable.  (The per-stall
+  // distribution is the registry histogram "engine/producer_stall_ns".)
+  // Wall-clock telemetry, not routing state: checkpoints do not persist
+  // it, and a resumed engine restarts it at zero.
+  uint64_t producer_stall_ns = 0;
   // Updates routed to each shard (producer-side accounting).
   std::vector<uint64_t> shard_updates;
+  // Highest ring occupancy (in chunks) observed per shard at commit time.
+  // Capacity-saturated values mean the shard's worker is the bottleneck.
+  // Telemetry like producer_stall_ns: not persisted by checkpoints.
+  std::vector<uint64_t> shard_ring_highwater;
 };
 
 // Producer-side routing state beyond the sinks: everything a checkpoint
@@ -175,6 +190,12 @@ class IngestEngine {
     // worker-polled `done` flag below gets its own cache line -- an idle
     // worker spinning on it must not ping-pong the producer's line.
     UpdateChunk* open = nullptr;
+    // Worker-side instrumentation (obs handles are process-lifetime;
+    // fetched once at engine construction): per-chunk batch-size samples
+    // plus 1-in-kBatchSampleEvery sink-latency timings.
+    obs::Histogram* obs_batch_size = nullptr;
+    obs::Histogram* obs_sink_batch_ns = nullptr;
+    uint64_t drained_chunks = 0;  // worker-side sampling counter
     alignas(64) std::atomic<bool> done{false};
   };
 
@@ -188,11 +209,39 @@ class IngestEngine {
 
   static void WorkerLoop(Shard* shard);
 
+  // Tracks the occupancy high-water of shard `s`'s ring after a commit
+  // (producer-side, telemetry-grade; see SpscRing::SizeApprox).
+  void NoteOccupancy(const Shard& s) {
+    const uint64_t occupancy = s.ring.SizeApprox();
+    if (occupancy > stats_.shard_ring_highwater[s.index]) {
+      stats_.shard_ring_highwater[s.index] = occupancy;
+    }
+  }
+
+  // Mirrors stats_ deltas since the last sync into the process-wide
+  // registry ("engine/..." instruments).  Called at quiesce points
+  // (Flush/Close) so the hot routing path never touches shared counters.
+  void SyncObsRegistry();
+
   IngestEngineOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t round_robin_next_ = 0;
   IngestStats stats_;
   bool closed_ = false;
+
+  // Registry handles (process-lifetime) + the stats values already pushed,
+  // so SyncObsRegistry adds exact deltas even across RestoreProducerState.
+  struct EngineObs {
+    obs::Counter* updates_submitted = nullptr;
+    obs::Counter* chunks_committed = nullptr;
+    obs::Counter* producer_stalls = nullptr;
+    obs::Histogram* producer_stall_ns = nullptr;
+    obs::Histogram* flush_ns = nullptr;
+    std::vector<obs::Counter*> shard_updates;
+    std::vector<obs::Gauge*> shard_ring_highwater;
+  };
+  EngineObs obs_;
+  IngestStats obs_synced_;
 };
 
 // Runs every sink over the full stream concurrently (one worker per sink,

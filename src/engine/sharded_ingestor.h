@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "engine/ingest_engine.h"
+#include "obs/trace.h"
 #include "stream/stream.h"
 #include "util/logging.h"
 
@@ -101,6 +102,9 @@ class ShardedIngestor {
     engine_->Close();
     if (!merged_) {
       merged_ = true;
+      obs::TraceSpan span("engine/merge", "engine");
+      obs::ScopedTimer timer(
+          obs::Registry::Get().GetHistogram("engine/merge_ns"));
       for (size_t s = 1; s < replicas_.size(); ++s) {
         replicas_[0].MergeFrom(replicas_[s]);
       }

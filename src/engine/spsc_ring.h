@@ -88,6 +88,16 @@ class SpscRing {
            tail_.load(std::memory_order_relaxed);
   }
 
+  // Producer-side occupancy estimate in slots (committed minus popped).
+  // Both loads are relaxed -- the consumer may pop concurrently, so the
+  // value is a telemetry-grade snapshot (never larger than the true
+  // occupancy was at the tail read), which is all the ring high-water
+  // instrumentation needs.
+  size_t SizeApprox() const {
+    return static_cast<size_t>(tail_.load(std::memory_order_relaxed) -
+                               head_.load(std::memory_order_relaxed));
+  }
+
  private:
   std::vector<T> slots_;
   const uint64_t mask_;

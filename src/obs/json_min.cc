@@ -1,0 +1,232 @@
+#include "obs/json_min.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace gstream {
+namespace obs {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent parser with a hard depth cap so hostile nesting cannot
+// blow the stack.
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Parse(std::string* error) {
+    JsonValue v;
+    if (!ParseValue(&v, 0)) {
+      if (error != nullptr) {
+        *error = "byte " + std::to_string(pos_) + ": " + error_;
+      }
+      return std::nullopt;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "byte " + std::to_string(pos_) + ": trailing garbage";
+      }
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  bool Fail(const char* why) {
+    if (error_.empty()) error_ = why;
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+        if (!ConsumeLiteral("true")) return Fail("bad literal");
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return true;
+      case 'f':
+        if (!ConsumeLiteral("false")) return Fail("bad literal");
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return true;
+      case 'n':
+        if (!ConsumeLiteral("null")) return Fail("bad literal");
+        out->kind = JsonValue::Kind::kNull;
+        return true;
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->kind = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return true;
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->kind = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return true;
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("short \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Fail("bad \\u escape");
+            }
+            // Encode the BMP code point as UTF-8 (surrogate pairs are left
+            // as two separately encoded code units -- fine for our ASCII
+            // artifacts).
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    // strtod is laxer than the JSON grammar: reject leading zeros ("01").
+    const size_t first_digit = token[0] == '-' ? 1 : 0;
+    if (token.size() > first_digit + 1 && token[first_digit] == '0' &&
+        std::isdigit(static_cast<unsigned char>(token[first_digit + 1]))) {
+      return Fail("bad number");
+    }
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("bad number");
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = value;
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> ParseJson(std::string_view text, std::string* error) {
+  return Parser(text).Parse(error);
+}
+
+}  // namespace obs
+}  // namespace gstream

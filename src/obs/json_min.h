@@ -1,0 +1,55 @@
+// Minimal JSON reader for the observability tooling.
+//
+// obs_dump and the obs tests need to read back the JSON this library
+// itself writes (registry snapshots, trace-event files, BENCH_sketch.json)
+// without external dependencies, so this is a small, strict, recursive-
+// descent parser over the full JSON grammar: objects (order-preserving),
+// arrays, strings (with \uXXXX decoded to UTF-8), numbers (as double),
+// booleans, null.  It is a *reader* for trusted-ish local artifacts, not a
+// hardened network-facing parser -- but it is total over arbitrary bytes:
+// any malformed input yields std::nullopt plus a byte-offset error
+// message, never UB (the corruption tests feed it garbage).
+
+#ifndef GSTREAM_OBS_JSON_MIN_H_
+#define GSTREAM_OBS_JSON_MIN_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gstream {
+namespace obs {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Insertion order preserved (duplicate keys kept as written).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  // First value under `key` in an object; nullptr if absent or not an
+  // object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+// Parses exactly one JSON document (trailing whitespace allowed, trailing
+// garbage rejected).  On failure returns nullopt and, if `error` is given,
+// a "byte N: reason" message.
+std::optional<JsonValue> ParseJson(std::string_view text,
+                                   std::string* error = nullptr);
+
+}  // namespace obs
+}  // namespace gstream
+
+#endif  // GSTREAM_OBS_JSON_MIN_H_

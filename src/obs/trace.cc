@@ -1,0 +1,105 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+#include <unistd.h>
+#include <vector>
+
+namespace gstream {
+namespace obs {
+
+TraceLog& TraceLog::Get() {
+  static TraceLog* const log = new TraceLog;  // outlives static dtors
+  return *log;
+}
+
+#if GSTREAM_OBS_ENABLED
+
+struct TraceLog::Impl {
+  mutable std::mutex mu;
+  std::vector<TraceEvent> events;
+};
+
+TraceLog::Impl* TraceLog::impl() const {
+  static Impl* const impl = new Impl;
+  return impl;
+}
+
+void TraceLog::Enable() {
+  epoch_ns_ = NowNs();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceLog::Disable() { enabled_.store(false, std::memory_order_release); }
+
+void TraceLog::AddSpan(const char* name, const char* category,
+                       uint64_t start_ns, uint64_t duration_ns) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.start_ns = start_ns >= epoch_ns_ ? start_ns - epoch_ns_ : 0;
+  event.duration_ns = duration_ns;
+  event.tid = ThreadSlotIndex();
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  i->events.push_back(event);
+}
+
+size_t TraceLog::EventCount() const {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  return i->events.size();
+}
+
+void TraceLog::Clear() {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  i->events.clear();
+}
+
+std::string TraceLog::ToJson() const {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  const long pid = static_cast<long>(::getpid());
+  std::string out = "{\"traceEvents\": [\n";
+  char buf[256];
+  for (size_t e = 0; e < i->events.size(); ++e) {
+    const TraceEvent& ev = i->events[e];
+    // ts/dur are microseconds in the trace-event format; keep sub-us
+    // resolution as fractional microseconds.
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": %ld, \"tid\": %zu}%s\n",
+                  ev.name, ev.category,
+                  static_cast<double>(ev.start_ns) / 1000.0,
+                  static_cast<double>(ev.duration_ns) / 1000.0, pid, ev.tid,
+                  e + 1 < i->events.size() ? "," : "");
+    out += buf;
+  }
+  out += "]}\n";
+  return out;
+}
+
+#else  // !GSTREAM_OBS_ENABLED
+
+void TraceLog::Enable() {}
+void TraceLog::Disable() {}
+void TraceLog::AddSpan(const char*, const char*, uint64_t, uint64_t) {}
+size_t TraceLog::EventCount() const { return 0; }
+void TraceLog::Clear() {}
+std::string TraceLog::ToJson() const { return "{\"traceEvents\": []}\n"; }
+
+#endif  // GSTREAM_OBS_ENABLED
+
+bool TraceLog::Write(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ToJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace obs
+}  // namespace gstream

@@ -1,0 +1,125 @@
+// Trace-event recording for engine lifecycle spans, exported in the
+// chrome://tracing / Perfetto trace-event JSON format.
+//
+// The log records *coarse* spans -- Submit slices, Flush/quiesce,
+// checkpoint writes, merges -- not per-update events: recording is off by
+// default, gated by one relaxed atomic load, and a disabled TraceSpan
+// costs a branch (no clock read).  Enabled recording appends to a
+// mutex-guarded vector; the spans it is meant for fire at most a few
+// thousand times per run, so the lock never sits on a hot path.
+//
+// Export format ({"traceEvents": [...]}, the JSON-object form chrome
+// accepts): every span is one complete event
+//
+//   {"name": "...", "cat": "...", "ph": "X", "ts": <us>, "dur": <us>,
+//    "pid": <pid>, "tid": <tid>}
+//
+// with ts in *microseconds* (the format's unit) relative to the log's
+// enable time, and tid the process-wide dense thread index
+// (obs::ThreadSlotIndex), so worker shards appear as separate tracks.
+// Load the file directly in chrome://tracing or import it into Perfetto
+// (docs/observability.md).
+//
+// Compile-out: with GSTREAM_OBS=OFF, TraceSpan is empty and
+// TraceLog::Write emits a valid empty trace.
+
+#ifndef GSTREAM_OBS_TRACE_H_
+#define GSTREAM_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace gstream {
+namespace obs {
+
+struct TraceEvent {
+  const char* name;  // static string (span call sites pass literals)
+  const char* category;
+  uint64_t start_ns;  // relative to enable time
+  uint64_t duration_ns;
+  size_t tid;
+};
+
+class TraceLog {
+ public:
+  static TraceLog& Get();
+
+  // Starts recording (and zeroes the clock); Disable() stops it.  Events
+  // already recorded are kept until Clear().
+  void Enable();
+  void Disable();
+  bool enabled() const {
+#if GSTREAM_OBS_ENABLED
+    return enabled_.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+  }
+
+  // Records one complete span; no-op while disabled.  `name` and
+  // `category` must outlive the log (pass string literals).
+  void AddSpan(const char* name, const char* category, uint64_t start_ns,
+               uint64_t duration_ns);
+
+  size_t EventCount() const;
+  void Clear();
+
+  // Serializes every recorded event as chrome trace-event JSON.
+  std::string ToJson() const;
+
+  // ToJson + write (plain write; traces are post-mortem artifacts, not
+  // durable state).  Returns false on I/O failure.
+  bool Write(const std::string& path) const;
+
+ private:
+  TraceLog() = default;
+#if GSTREAM_OBS_ENABLED
+  std::atomic<bool> enabled_{false};
+  uint64_t epoch_ns_ = 0;
+  struct Impl;
+  Impl* impl() const;
+#endif
+};
+
+// RAII complete-event span.  Reads the clock only while the log is
+// enabled; the common disabled case is one relaxed load and a branch.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category)
+#if GSTREAM_OBS_ENABLED
+      : name_(name), category_(category) {
+    if (TraceLog::Get().enabled()) start_ns_ = NowNs();
+  }
+#else
+  {
+    (void)name;
+    (void)category;
+  }
+#endif
+
+  ~TraceSpan() {
+#if GSTREAM_OBS_ENABLED
+    if (start_ns_ != 0 && TraceLog::Get().enabled()) {
+      TraceLog::Get().AddSpan(name_, category_, start_ns_, NowNs() - start_ns_);
+    }
+#endif
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+#if GSTREAM_OBS_ENABLED
+  const char* name_;
+  const char* category_;
+  uint64_t start_ns_ = 0;
+#endif
+};
+
+}  // namespace obs
+}  // namespace gstream
+
+#endif  // GSTREAM_OBS_TRACE_H_

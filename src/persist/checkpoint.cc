@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace gstream {
 
 namespace {
@@ -122,7 +125,18 @@ LoadStatus DecodeCheckpoint(std::string_view bytes, CheckpointImage* image) {
 
 bool SaveCheckpoint(const CheckpointImage& image, const std::string& path,
                     WriteFault fault) {
-  return WriteFileAtomic(path, EncodeCheckpoint(image), fault);
+  obs::TraceSpan span("persist/save_checkpoint", "persist");
+  obs::Registry& registry = obs::Registry::Get();
+  obs::ScopedTimer timer(registry.GetHistogram("persist/ckpt_write_ns"));
+  const std::string bytes = EncodeCheckpoint(image);
+  const bool ok = WriteFileAtomic(path, bytes, fault);
+  if (ok) {
+    registry.GetCounter("persist/ckpt_saves")->Increment();
+    registry.GetCounter("persist/ckpt_bytes_written")->Add(bytes.size());
+  } else {
+    registry.GetCounter("persist/ckpt_save_failures")->Increment();
+  }
+  return ok;
 }
 
 LoadStatus LoadCheckpoint(const std::string& path, CheckpointImage* image) {

@@ -45,6 +45,8 @@
 #include <vector>
 
 #include "engine/sharded_ingestor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/sketch_io.h"
 #include "stream/stream.h"
 #include "util/logging.h"
@@ -82,7 +84,16 @@ LoadStatus LoadCheckpoint(const std::string& path, CheckpointImage* image);
 template <typename SketchT>
 CheckpointImage SnapshotIngestor(ShardedIngestor<SketchT>& ingest,
                                  uint64_t cursor) {
-  ingest.Flush();
+  obs::TraceSpan span("persist/snapshot", "persist");
+  // The two phases have different owners -- quiesce waits on the workers,
+  // serialize is producer-side CPU -- so they get separate histograms.
+  {
+    obs::ScopedTimer quiesce(
+        obs::Registry::Get().GetHistogram("persist/ckpt_quiesce_ns"));
+    ingest.Flush();
+  }
+  obs::ScopedTimer serialize(
+      obs::Registry::Get().GetHistogram("persist/ckpt_serialize_ns"));
   CheckpointImage image;
   image.cursor = cursor;
   image.producer = ingest.SnapshotProducerState();

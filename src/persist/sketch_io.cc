@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/gnp_sketch.h"
+#include "obs/metrics.h"
 #include "core/heavy_hitters.h"
 #include "core/one_pass_hh.h"
 #include "core/recursive_sketch.h"
@@ -811,6 +812,9 @@ bool FsyncParentDir(const std::string& path) {
 
 bool WriteFileAtomic(const std::string& path, std::string_view bytes,
                      WriteFault fault) {
+  obs::Registry& registry = obs::Registry::Get();
+  obs::ScopedTimer timer(
+      registry.GetHistogram("persist/atomic_write_ns"));
   if (fault == WriteFault::kCrashBeforeTmp) return false;
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -843,7 +847,10 @@ bool WriteFileAtomic(const std::string& path, std::string_view bytes,
   // Persist the rename: without the directory fsync a crash can roll the
   // directory entry back to the old file even though the data blocks of
   // the new one are on disk.
-  return FsyncParentDir(path);
+  if (!FsyncParentDir(path)) return false;
+  registry.GetCounter("persist/files_written")->Increment();
+  registry.GetCounter("persist/bytes_written")->Add(bytes.size());
+  return true;
 }
 
 std::optional<std::string> ReadFileBytes(const std::string& path,

@@ -15,6 +15,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace gstream {
 
 // Item identifiers are indices into the domain [0, n).
@@ -62,12 +64,36 @@ class Stream {
   // Invokes `fn(const Update*, size_t)` on consecutive chunks of at most
   // `max_batch` updates, covering the stream in arrival order.  This is the
   // driver for the batched sketch path: one forward scan, no copies.
+  // Every batched drive in the library flows through here, so this is the
+  // one place the "sketch/batch_*" instruments live: batch sizes on every
+  // chunk, kernel latency sampled 1-in-kBatchSampleEvery (the two clock
+  // reads cost ~50 ns against multi-microsecond kernels).  Compiled out
+  // entirely under GSTREAM_OBS=OFF.
   template <typename Fn>
   void ForEachBatch(size_t max_batch, Fn&& fn) const {
     const Update* data = updates_.data();
     const size_t total = updates_.size();
-    for (size_t i = 0; i < total; i += max_batch) {
-      fn(data + i, std::min(max_batch, total - i));
+    if constexpr (obs::kEnabled) {
+      static obs::Histogram* const batch_ns =
+          obs::Registry::Get().GetHistogram("sketch/batch_ns");
+      static obs::Histogram* const batch_size =
+          obs::Registry::Get().GetHistogram("sketch/batch_size");
+      uint64_t scanned = 0;
+      for (size_t i = 0; i < total; i += max_batch) {
+        const size_t len = std::min(max_batch, total - i);
+        batch_size->Record(len);
+        if ((scanned++ & (obs::kBatchSampleEvery - 1)) == 0) {
+          const uint64_t t0 = obs::NowNs();
+          fn(data + i, len);
+          batch_ns->Record(obs::NowNs() - t0);
+        } else {
+          fn(data + i, len);
+        }
+      }
+    } else {
+      for (size_t i = 0; i < total; i += max_batch) {
+        fn(data + i, std::min(max_batch, total - i));
+      }
     }
   }
 

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "core/gnp_sketch.h"
@@ -262,6 +264,107 @@ TEST(IngestEngineTest, BackpressureBoundsMemoryAndLosesNothing) {
   EXPECT_EQ(delivered, stream.length());
   EXPECT_EQ(engine.stats().updates_submitted, stream.length());
 }
+
+TEST(IngestEngineTest, StallAccountingRecordsTimeNotJustCount) {
+  // A deliberately slow consumer on a minimum ring guarantees stalls; the
+  // stats must then carry both the stall count and the nanoseconds the
+  // producer actually spent blocked (stall *time* is what quantifies
+  // backpressure -- a thousand 1us stalls and one 1ms stall are different
+  // problems).
+  const Stream stream = MakeTurnstileStream(209);
+  std::vector<BatchSink> sinks;
+  sinks.push_back([](const Update* /*ups*/, size_t /*n*/) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  });
+  IngestEngineOptions options;
+  options.shards = 1;
+  options.ring_chunks = 2;
+  options.chunk_updates = 16;
+  IngestEngine engine(options, std::move(sinks));
+  engine.SubmitStream(stream);
+  engine.Close();
+  const IngestStats& stats = engine.stats();
+  ASSERT_GT(stats.producer_stalls, 0u);
+  EXPECT_GT(stats.producer_stall_ns, 0u);
+  // Sanity: total blocked time is at least one sink-sleep per stall is too
+  // strict under scheduler noise, but it cannot exceed minutes.
+  EXPECT_LT(stats.producer_stall_ns, uint64_t{60} * 1000 * 1000 * 1000);
+}
+
+TEST(IngestEngineTest, RingHighwaterTracksOccupancyWithinCapacity) {
+  const Stream stream = MakeTurnstileStream(210);
+  std::vector<BatchSink> sinks;
+  sinks.push_back([](const Update* /*ups*/, size_t /*n*/) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  });
+  IngestEngineOptions options;
+  options.shards = 1;
+  options.ring_chunks = 4;
+  options.chunk_updates = 16;
+  IngestEngine engine(options, std::move(sinks));
+  engine.SubmitStream(stream);
+  engine.Close();
+  const IngestStats& stats = engine.stats();
+  ASSERT_EQ(stats.shard_ring_highwater.size(), 1u);
+  // A slow consumer must have let the ring back up at least once, and the
+  // high-water can never exceed the ring's (power-of-two) capacity.
+  EXPECT_GE(stats.shard_ring_highwater[0], 1u);
+  EXPECT_LE(stats.shard_ring_highwater[0], 4u);
+}
+
+TEST(IngestEngineTest, RestoreToleratesCheckpointsWithoutTelemetry) {
+  // Decoded checkpoints carry no shard_ring_highwater (wall-clock
+  // telemetry is not persisted); restoring one must leave the vector sized
+  // for this engine so subsequent routing can track occupancy.
+  const Stream stream = MakeTurnstileStream(211);
+  auto make_sinks = [] {
+    std::vector<BatchSink> sinks;
+    for (size_t s = 0; s < 2; ++s) {
+      sinks.push_back([](const Update*, size_t) {});
+    }
+    return sinks;
+  };
+  IngestEngineOptions options;
+  options.shards = 2;
+  options.policy = PartitionPolicy::kHashItem;
+  IngestEngine first(options, make_sinks());
+  first.Submit(stream.updates().data(), stream.length() / 2);
+  first.Flush();
+  IngestProducerState state = first.SnapshotProducerState();
+  first.Close();
+  state.stats.shard_ring_highwater.clear();  // what DecodeCheckpoint yields
+
+  IngestEngine resumed(options, make_sinks());
+  resumed.RestoreProducerState(state);
+  resumed.Submit(stream.updates().data() + stream.length() / 2,
+                 stream.length() - stream.length() / 2);
+  resumed.Close();
+  EXPECT_EQ(resumed.stats().shard_ring_highwater.size(), 2u);
+  EXPECT_EQ(resumed.stats().updates_submitted, stream.length());
+}
+
+#if GSTREAM_OBS_ENABLED
+TEST(IngestEngineTest, RegistryMirrorsExactDeltasAcrossQuiescePoints) {
+  // Flush mid-stream then Close: the process-wide registry counter must
+  // advance by exactly the updates this engine routed -- no double count
+  // from syncing twice, none lost.
+  obs::Counter* submitted =
+      obs::Registry::Get().GetCounter("engine/updates_submitted");
+  const uint64_t before = submitted->Value();
+  const Stream stream = MakeTurnstileStream(212);
+  std::vector<BatchSink> sinks;
+  sinks.push_back([](const Update*, size_t) {});
+  IngestEngineOptions options;
+  options.shards = 1;
+  IngestEngine engine(options, std::move(sinks));
+  const size_t half = stream.length() / 2;
+  engine.Submit(stream.updates().data(), half);
+  engine.Flush();  // first sync
+  engine.Submit(stream.updates().data() + half, stream.length() - half);
+  engine.Close();  // second sync
+  EXPECT_EQ(submitted->Value() - before, stream.length());
+}
+#endif  // GSTREAM_OBS_ENABLED
 
 TEST(IngestEngineTest, CloseIsIdempotentAndFlushesPartialChunks) {
   Rng seq_rng(kSeed);

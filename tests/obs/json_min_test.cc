@@ -1,0 +1,96 @@
+// The bundled JSON reader: strict acceptance of the grammar the exporters
+// emit, and total rejection (clean errors, no UB) of malformed input --
+// obs_dump and the trace tests depend on both halves.  The suite also
+// round-trips the snapshot exporter's output, pinning that everything this
+// library writes, this library can read.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json_min.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+
+namespace gstream {
+namespace obs {
+namespace {
+
+TEST(JsonMin, ParsesScalars) {
+  EXPECT_EQ(ParseJson("null")->kind, JsonValue::Kind::kNull);
+  EXPECT_TRUE(ParseJson("true")->boolean);
+  EXPECT_FALSE(ParseJson("false")->boolean);
+  EXPECT_DOUBLE_EQ(ParseJson("-12.5e2")->number, -1250.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->string, "hi");
+}
+
+TEST(JsonMin, ParsesNestedStructure) {
+  const auto root = ParseJson(
+      R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}, "a": 9})");
+  ASSERT_TRUE(root.has_value());
+  ASSERT_TRUE(root->is_object());
+  const JsonValue* a = root->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());  // Find returns the first "a"
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_EQ(a->array[2].Find("b")->string, "c");
+  EXPECT_EQ(root->Find("d")->Find("e")->kind, JsonValue::Kind::kNull);
+  // Duplicate keys are preserved in insertion order.
+  EXPECT_EQ(root->object.size(), 3u);
+}
+
+TEST(JsonMin, DecodesStringEscapes) {
+  const auto v = ParseJson(R"("line\n\"q\"Aé")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string, "line\n\"q\"A\xc3\xa9");
+}
+
+TEST(JsonMin, RejectsMalformedInputWithOffset) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\": 1,}", "[01]", "nul", "{\"a\" 1}", "\x01"}) {
+    std::string error;
+    EXPECT_FALSE(ParseJson(bad, &error).has_value()) << bad;
+    EXPECT_NE(error.find("byte"), std::string::npos) << bad;
+  }
+}
+
+TEST(JsonMin, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).has_value());
+}
+
+TEST(JsonMin, RoundTripsSnapshotExporter) {
+  Registry& r = Registry::Get();
+  r.GetCounter("test/json/roundtrip_c")->Add(3);
+  r.GetHistogram("test/json/roundtrip_h")->Record(77);
+  const std::string json = CurrentSnapshotJson();
+  std::string error;
+  const auto root = ParseJson(json, &error);
+  ASSERT_TRUE(root.has_value()) << error;
+  ASSERT_TRUE(root->is_object());
+  const JsonValue* schema = root->Find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->string, "gstream-obs-v1");
+#if GSTREAM_OBS_ENABLED
+  const JsonValue* hists = root->Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* h = hists->Find("test/json/roundtrip_h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->Find("count")->number, 1.0);
+  // The exporter's documented invariant, checked the same way the CI bench
+  // smoke checks it: percentiles are monotone.
+  EXPECT_LE(h->Find("p50")->number, h->Find("p90")->number);
+  EXPECT_LE(h->Find("p90")->number, h->Find("p99")->number);
+  EXPECT_LE(h->Find("p99")->number, h->Find("p999")->number);
+#else
+  // OFF mode: the block is deterministically empty but still well-formed.
+  EXPECT_TRUE(root->Find("counters")->object.empty());
+  EXPECT_TRUE(root->Find("histograms")->object.empty());
+#endif
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace gstream

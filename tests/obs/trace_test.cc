@@ -1,0 +1,140 @@
+// Trace-event log contracts: disabled recording is free and empty, spans
+// land with their category/ordering intact, and the exported file is valid
+// chrome trace-event JSON (validated by round-tripping through the bundled
+// parser, the same check tools/obs_dump performs).  The OFF-mode branch
+// pins the compile-out contract: no events ever, but Write still emits a
+// well-formed empty trace.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/json_min.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gstream {
+namespace obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceLog::Get().Disable();
+    TraceLog::Get().Clear();
+  }
+  void TearDown() override {
+    TraceLog::Get().Disable();
+    TraceLog::Get().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  {
+    TraceSpan span("test/disabled", "test");
+  }
+  TraceLog::Get().AddSpan("test/direct", "test", 0, 10);
+  EXPECT_EQ(TraceLog::Get().EventCount(), 0u);
+}
+
+#if GSTREAM_OBS_ENABLED
+
+TEST_F(TraceTest, SpansAreRecordedWhileEnabled) {
+  TraceLog::Get().Enable();
+  {
+    TraceSpan outer("test/outer", "test");
+    TraceSpan inner("test/inner", "test");
+  }
+  TraceLog::Get().Disable();
+  {
+    TraceSpan after("test/after_disable", "test");
+  }
+  EXPECT_EQ(TraceLog::Get().EventCount(), 2u);
+}
+
+TEST_F(TraceTest, ExportIsValidChromeTraceJson) {
+  TraceLog::Get().Enable();
+  // start_ns is an absolute NowNs() timestamp; the log rebases it onto the
+  // enable epoch at record time.
+  const uint64_t t0 = NowNs();
+  TraceLog::Get().AddSpan("test/a", "engine", t0, 2000);
+  TraceLog::Get().AddSpan("test/b", "persist", t0 + 4000, 500);
+  TraceLog::Get().Disable();
+
+  const std::string json = TraceLog::Get().ToJson();
+  std::string error;
+  const auto root = ParseJson(json, &error);
+  ASSERT_TRUE(root.has_value()) << error;
+  const JsonValue* events = root->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 2u);
+  for (const JsonValue& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    const JsonValue* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    EXPECT_EQ(ph->string, "X");  // complete events
+    for (const char* key : {"name", "cat", "ts", "dur", "pid", "tid"}) {
+      EXPECT_NE(e.Find(key), nullptr) << key;
+    }
+  }
+  // ts is exported in microseconds relative to the enable epoch, dur is
+  // passed through; the two spans keep their 4us spacing.
+  const double ts_a = events->array[0].Find("ts")->number;
+  const double ts_b = events->array[1].Find("ts")->number;
+  EXPECT_GE(ts_a, 0.0);
+  EXPECT_DOUBLE_EQ(ts_b - ts_a, 4.0);
+  EXPECT_DOUBLE_EQ(events->array[0].Find("dur")->number, 2.0);
+  EXPECT_DOUBLE_EQ(events->array[1].Find("dur")->number, 0.5);
+}
+
+TEST_F(TraceTest, WriteRoundTripsThroughFile) {
+  TraceLog::Get().Enable();
+  {
+    TraceSpan span("test/file", "test");
+  }
+  TraceLog::Get().Disable();
+  const std::string path = ::testing::TempDir() + "gstream_trace_test.json";
+  ASSERT_TRUE(TraceLog::Get().Write(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string bytes;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, got);
+  std::fclose(f);
+  std::remove(path.c_str());
+  std::string error;
+  const auto root = ParseJson(bytes, &error);
+  ASSERT_TRUE(root.has_value()) << error;
+  EXPECT_EQ(root->Find("traceEvents")->array.size(), 1u);
+}
+
+#else  // !GSTREAM_OBS_ENABLED
+
+TEST_F(TraceTest, OffModeNeverRecords) {
+  TraceLog::Get().Enable();
+  {
+    TraceSpan span("test/off", "test");
+  }
+  TraceLog::Get().AddSpan("test/off_direct", "test", 0, 1);
+  EXPECT_FALSE(TraceLog::Get().enabled());
+  EXPECT_EQ(TraceLog::Get().EventCount(), 0u);
+}
+
+TEST_F(TraceTest, OffModeWritesValidEmptyTrace) {
+  const std::string json = TraceLog::Get().ToJson();
+  std::string error;
+  const auto root = ParseJson(json, &error);
+  ASSERT_TRUE(root.has_value()) << error;
+  const JsonValue* events = root->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->array.empty());
+}
+
+#endif  // GSTREAM_OBS_ENABLED
+
+}  // namespace
+}  // namespace obs
+}  // namespace gstream

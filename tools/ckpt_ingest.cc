@@ -30,6 +30,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/snapshot.h"
 #include "persist/checkpoint.h"
 #include "persist/sketch_io.h"
 #include "sketch/count_sketch.h"
@@ -54,6 +55,9 @@ struct Flags {
   uint64_t interval = 8 * kStreamBatchSize;
   uint64_t kill_after = 0;  // 0 = never
   bool resume = false;
+  // --stats=json: dump the final process-wide metrics-registry snapshot
+  // (obs JSON schema) to stdout after the run summary.
+  bool stats_json = false;
   WriteFault fault = WriteFault::kNone;
 };
 
@@ -83,6 +87,10 @@ Flags ParseFlags(int argc, char** argv) {
     else if (ParseFlag(a, "--interval", &v)) f.interval = std::strtoull(v.c_str(), nullptr, 10);
     else if (ParseFlag(a, "--kill-after", &v)) f.kill_after = std::strtoull(v.c_str(), nullptr, 10);
     else if (std::strcmp(a, "--resume") == 0) f.resume = true;
+    else if (ParseFlag(a, "--stats", &v)) {
+      if (v == "json") f.stats_json = true;
+      else { std::fprintf(stderr, "ckpt_ingest: unknown --stats=%s\n", v.c_str()); std::exit(2); }
+    }
     else if (ParseFlag(a, "--fault", &v)) {
       if (v == "before-tmp") f.fault = WriteFault::kCrashBeforeTmp;
       else if (v == "mid-tmp") f.fault = WriteFault::kCrashMidTmp;
@@ -172,6 +180,9 @@ int Run(const Flags& f) {
               static_cast<unsigned long long>(stats.chunks_committed),
               static_cast<unsigned long long>(stats.producer_stalls),
               f.out.c_str());
+  if (f.stats_json) {
+    std::printf("%s\n", obs::CurrentSnapshotJson().c_str());
+  }
   return 0;
 }
 

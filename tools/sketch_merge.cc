@@ -22,7 +22,9 @@
 //   sketch_merge --mode=inspect /tmp/merged.gskb
 //
 // Common flags: --type=count_sketch|count_min|ams|topk|exact, --seed,
-// --stream-seed, --domain, --items, --rows, --buckets, --k.
+// --stream-seed, --domain, --items, --rows, --buckets, --k.  --stats=json
+// appends the process-wide metrics-registry snapshot (obs JSON) to stdout
+// after a successful run.
 
 #include <cstdint>
 #include <cstdio>
@@ -31,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/snapshot.h"
 #include "persist/sketch_io.h"
 #include "sketch/ams.h"
 #include "sketch/count_min.h"
@@ -56,6 +59,9 @@ struct Flags {
   size_t k = 32;
   size_t shard = 0;
   size_t shards = 1;
+  // --stats=json: dump the final process-wide metrics-registry snapshot
+  // (obs JSON schema) to stdout after the mode's own output.
+  bool stats_json = false;
   std::vector<std::string> inputs;
 };
 
@@ -83,6 +89,10 @@ Flags ParseFlags(int argc, char** argv) {
     else if (ParseFlag(a, "--k", &v)) f.k = std::strtoull(v.c_str(), nullptr, 10);
     else if (ParseFlag(a, "--shard", &v)) f.shard = std::strtoull(v.c_str(), nullptr, 10);
     else if (ParseFlag(a, "--shards", &v)) f.shards = std::strtoull(v.c_str(), nullptr, 10);
+    else if (ParseFlag(a, "--stats", &v)) {
+      if (v == "json") f.stats_json = true;
+      else { std::fprintf(stderr, "sketch_merge: unknown --stats=%s\n", v.c_str()); std::exit(2); }
+    }
     else if (std::strncmp(a, "--", 2) == 0) {
       std::fprintf(stderr, "sketch_merge: unknown flag %s\n", a);
       std::exit(2);
@@ -224,8 +234,7 @@ int Inspect(const Flags& f) {
   return 0;
 }
 
-int Run(int argc, char** argv) {
-  const Flags f = ParseFlags(argc, argv);
+int RunMode(const Flags& f) {
   if (f.mode == "inspect") return Inspect(f);
   if (f.type == "count_sketch") {
     return RunTyped<CountSketch>(f, [&] {
@@ -257,6 +266,15 @@ int Run(int argc, char** argv) {
   }
   std::fprintf(stderr, "sketch_merge: unknown --type=%s\n", f.type.c_str());
   return 2;
+}
+
+int Run(int argc, char** argv) {
+  const Flags f = ParseFlags(argc, argv);
+  const int status = RunMode(f);
+  if (status == 0 && f.stats_json) {
+    std::printf("%s\n", obs::CurrentSnapshotJson().c_str());
+  }
+  return status;
 }
 
 }  // namespace

@@ -25,6 +25,12 @@
 //                  chrome://tracing trace-event JSON (docs/observability.md)
 //   --updates N    CountSketch/Count-Min stream length (default 10000000)
 //   --quick        divide all workloads by 20 (CI smoke mode)
+//   --threads N    thread-scaling sweep ceiling: for t = 1..N, t producer
+//                  threads feed t shards through the multi-producer front
+//                  end; recorded as the report's "scaling" block
+//                  (default 4, capped at 8)
+//   --pin          pin engine workers and producers to cores during the
+//                  sweep (IngestEngineOptions::pin_threads)
 
 #include <algorithm>
 #include <cmath>
@@ -32,6 +38,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -309,11 +316,74 @@ size_t DriveSharded(const Stream& stream, size_t shards,
   return merged.SpaceBytes();
 }
 
+// One multi-producer pass for the --threads sweep: `threads` producer
+// threads, each with its own ProducerHandle, feed `threads` shards with
+// contiguous slices of the stream (round-robin chunks), then the engine
+// closes and merges.  Returns the full lifecycle's accounting -- the
+// engine aggregate plus the per-producer split -- alongside the merged
+// sketch's space, so the timed best run can donate its stats to the
+// report's scaling block.
+struct MultiProducerRun {
+  size_t space_bytes = 0;
+  IngestStats stats;
+  std::vector<uint64_t> producer_updates;
+  std::vector<uint64_t> producer_stalls;
+  std::vector<uint64_t> producer_stall_ns;
+};
+
+MultiProducerRun DriveMultiProducer(const Stream& stream, size_t threads,
+                                    bool pin) {
+  IngestEngineOptions options;
+  options.shards = threads;
+  options.policy = PartitionPolicy::kRoundRobinChunks;
+  options.max_producers = threads;
+  options.pin_threads = pin;
+  ShardedIngestor<CountSketch> ingest(options, [](size_t) {
+    Rng rng(1);
+    return CountSketch(CountSketchOptions{5, 1024}, rng);
+  });
+  ingest.Open();
+  const Update* const updates = stream.updates().data();
+  const size_t total = stream.length();
+  std::vector<ProducerHandle*> handles(threads, nullptr);
+  std::vector<std::thread> producers;
+  producers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    const size_t begin = total * t / threads;
+    const size_t end = total * (t + 1) / threads;
+    producers.emplace_back([&ingest, &handles, updates, t, begin, end] {
+      ProducerHandle* const handle = ingest.AddProducer();
+      handles[t] = handle;  // disjoint slot per thread
+      handle->Submit(updates + begin, end - begin);
+      handle->Close();
+    });
+  }
+  for (std::thread& p : producers) p.join();
+  CountSketch& merged = ingest.Close();
+
+  MultiProducerRun run;
+  run.space_bytes = merged.SpaceBytes();
+  run.stats = ingest.stats();
+  run.producer_updates.assign(threads, 0);
+  run.producer_stalls.assign(threads, 0);
+  run.producer_stall_ns.assign(threads, 0);
+  for (const ProducerHandle* handle : handles) {
+    // Safe cross-thread read: the producer joined, and Close() released
+    // the handle's stats before setting closed().
+    run.producer_updates[handle->index()] = handle->stats().updates_submitted;
+    run.producer_stalls[handle->index()] = handle->stats().producer_stalls;
+    run.producer_stall_ns[handle->index()] = handle->stats().producer_stall_ns;
+  }
+  return run;
+}
+
 int Run(int argc, char** argv) {
   std::string out_path = "BENCH_sketch.json";
   std::string trace_path;
   size_t cs_updates = 10000000;
   size_t divisor = 1;
+  size_t max_threads = 4;
+  bool pin = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
@@ -323,6 +393,11 @@ int Run(int argc, char** argv) {
       cs_updates = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       divisor = 20;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      max_threads = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+      max_threads = std::min(std::max<size_t>(max_threads, 1), size_t{8});
+    } else if (std::strcmp(argv[i], "--pin") == 0) {
+      pin = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 1;
@@ -422,6 +497,43 @@ int Run(int argc, char** argv) {
           return CountSketch(CountSketchOptions{5, 1024}, rng);
         });
       }));
+
+  // Thread-scaling sweep (--threads): for each t, t producer threads feed
+  // t shards through the multi-producer front end.  Real speedup needs
+  // cores; on a single-core host the sweep instead bounds the concurrency
+  // overhead (stall time, ring high-water) -- either way the scaling block
+  // records what this host actually did.  Best-of-3 per point; the best
+  // run donates its stats.
+  {
+    std::vector<bench::ScalingEntry> scaling;
+    for (size_t t = 1; t <= max_threads; ++t) {
+      std::fprintf(stderr, "scaling sweep: %zu producer(s) x %zu shard(s)\n",
+                   t, t);
+      bench::ScalingEntry entry;
+      entry.threads = t;
+      entry.shards = t;
+      entry.updates = stream.length();
+      entry.seconds = -1.0;
+      for (size_t r = 0; r < 3; ++r) {
+        bench::WallTimer timer;
+        MultiProducerRun run = DriveMultiProducer(stream, t, pin);
+        const double s = timer.Seconds();
+        if (entry.seconds < 0.0 || s < entry.seconds) {
+          entry.seconds = s;
+          entry.stats = std::move(run.stats);
+          entry.producer_updates = std::move(run.producer_updates);
+          entry.producer_stalls = std::move(run.producer_stalls);
+          entry.producer_stall_ns = std::move(run.producer_stall_ns);
+        }
+      }
+      entry.updates_per_sec =
+          entry.seconds > 0.0
+              ? static_cast<double>(entry.updates) / entry.seconds
+              : 0.0;
+      scaling.push_back(std::move(entry));
+    }
+    report.SetScaling("count_sketch/mpsc", pin, std::move(scaling));
+  }
 
   // Count-Min (rows 5, buckets 1024).
   report.Add(Measure("count_min/seed_single", stream.length(), repeats, [&] {

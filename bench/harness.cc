@@ -2,6 +2,8 @@
 
 #include <cinttypes>
 
+#include "util/thread_affinity.h"
+
 namespace gstream {
 namespace bench {
 namespace {
@@ -32,6 +34,14 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+void WriteU64Array(FILE* f, const std::vector<uint64_t>& values) {
+  std::fputc('[', f);
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::fprintf(f, "%s%" PRIu64, i > 0 ? ", " : "", values[i]);
+  }
+  std::fputc(']', f);
+}
+
 }  // namespace
 
 void BenchReport::SetWorkload(size_t updates, uint64_t domain, size_t items,
@@ -53,6 +63,13 @@ void BenchReport::SetIngest(const std::string& benchmark,
   has_ingest_ = true;
   ingest_benchmark_ = benchmark;
   ingest_stats_ = stats;
+}
+
+void BenchReport::SetScaling(const std::string& benchmark, bool pinned,
+                             std::vector<ScalingEntry> entries) {
+  scaling_benchmark_ = benchmark;
+  scaling_pinned_ = pinned;
+  scaling_entries_ = std::move(entries);
 }
 
 void BenchReport::SetObs(std::string obs_json) {
@@ -93,6 +110,18 @@ void BenchReport::PrintTable(FILE* out) const {
   for (const auto& [key, value] : speedups_) {
     std::fprintf(out, "%-36s %.2fx\n", key.c_str(), value);
   }
+  if (!scaling_entries_.empty()) {
+    const double base = scaling_entries_.front().updates_per_sec;
+    for (const ScalingEntry& e : scaling_entries_) {
+      std::fprintf(out,
+                   "scaling/%s t=%zu %24zu %10.4f %14.0f  (%.2fx vs t=1, "
+                   "stall_ns=%" PRIu64 ")\n",
+                   scaling_benchmark_.c_str(), e.threads, e.updates, e.seconds,
+                   e.updates_per_sec,
+                   base > 0.0 ? e.updates_per_sec / base : 0.0,
+                   e.stats.producer_stall_ns);
+    }
+  }
 }
 
 bool BenchReport::WriteJson(const std::string& path) const {
@@ -132,6 +161,49 @@ bool BenchReport::WriteJson(const std::string& path) const {
                    ingest_stats_.shard_ring_highwater[i]);
     }
     std::fprintf(f, "]},\n");
+  }
+  if (!scaling_entries_.empty()) {
+    std::fprintf(f,
+                 "  \"scaling\": {\"benchmark\": \"%s\", "
+                 "\"hardware_threads\": %u, \"pinned\": %s, \"entries\": [\n",
+                 JsonEscape(scaling_benchmark_).c_str(), HardwareThreads(),
+                 scaling_pinned_ ? "true" : "false");
+    const double base = scaling_entries_.front().updates_per_sec;
+    for (size_t i = 0; i < scaling_entries_.size(); ++i) {
+      const ScalingEntry& e = scaling_entries_[i];
+      std::fprintf(f,
+                   "    {\"threads\": %zu, \"shards\": %zu, \"updates\": %zu, "
+                   "\"seconds\": %.6f, \"updates_per_sec\": %.1f, "
+                   "\"speedup_vs_1\": %.3f,\n     \"chunks_committed\": %" PRIu64
+                   ", \"producer_stalls\": %" PRIu64
+                   ", \"producer_stall_ns\": %" PRIu64 ",\n     ",
+                   e.threads, e.shards, e.updates, e.seconds, e.updates_per_sec,
+                   base > 0.0 ? e.updates_per_sec / base : 0.0,
+                   e.stats.chunks_committed, e.stats.producer_stalls,
+                   e.stats.producer_stall_ns);
+      std::fprintf(f, "\"shard_updates\": ");
+      WriteU64Array(f, e.stats.shard_updates);
+      // Per-shard throughput is derived here rather than recomputed by
+      // every consumer: shard_updates[i] / seconds.
+      std::fprintf(f, ", \"shard_updates_per_sec\": [");
+      for (size_t s = 0; s < e.stats.shard_updates.size(); ++s) {
+        std::fprintf(f, "%s%.1f", s > 0 ? ", " : "",
+                     e.seconds > 0.0
+                         ? static_cast<double>(e.stats.shard_updates[s]) /
+                               e.seconds
+                         : 0.0);
+      }
+      std::fprintf(f, "],\n     \"shard_ring_highwater\": ");
+      WriteU64Array(f, e.stats.shard_ring_highwater);
+      std::fprintf(f, ",\n     \"producer_updates\": ");
+      WriteU64Array(f, e.producer_updates);
+      std::fprintf(f, ", \"producer_stalls_each\": ");
+      WriteU64Array(f, e.producer_stalls);
+      std::fprintf(f, ", \"producer_stall_ns_each\": ");
+      WriteU64Array(f, e.producer_stall_ns);
+      std::fprintf(f, "}%s\n", i + 1 < scaling_entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]},\n");
   }
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < results_.size(); ++i) {

@@ -66,6 +66,25 @@ struct BenchResult {
   obs::HistogramSnapshot batch_ns;
 };
 
+// One point of the thread-scaling sweep (--threads): t producer threads
+// feeding t shards through the multi-producer front end, with the engine's
+// aggregated stats and the per-producer split from the timed (best) run.
+struct ScalingEntry {
+  size_t threads = 0;  // producers (= shards in the sweep)
+  size_t shards = 0;
+  size_t updates = 0;
+  double seconds = 0.0;  // best-of-N wall time of the full lifecycle
+  double updates_per_sec = 0.0;
+  // Aggregated engine stats from the best-timed run: shard_updates gives
+  // per-shard throughput (shard_updates[i] / seconds), producer_stall_ns
+  // quantifies backpressure, shard_ring_highwater the queue depth.
+  IngestStats stats;
+  // Per-producer split of the same run (index = producer lane).
+  std::vector<uint64_t> producer_updates;
+  std::vector<uint64_t> producer_stalls;
+  std::vector<uint64_t> producer_stall_ns;
+};
+
 // Accumulates results and derived speedups, prints a human-readable table,
 // and serializes the report as JSON.
 class BenchReport {
@@ -87,6 +106,13 @@ class BenchReport {
   // blocking on full rings -- are visible next to the throughput numbers
   // they would explain.
   void SetIngest(const std::string& benchmark, const IngestStats& stats);
+
+  // The thread-scaling sweep (`benchmark` names the driven workload,
+  // `pinned` records whether pin_threads was on).  Serialized as the
+  // report's "scaling" block; entries should be ordered by thread count
+  // with entry 0 at 1 thread, the per-entry speedup_vs_1 baseline.
+  void SetScaling(const std::string& benchmark, bool pinned,
+                  std::vector<ScalingEntry> entries);
 
   // A pre-rendered registry-snapshot JSON object (obs::SnapshotJson with
   // this report's indentation) embedded verbatim as the report's "obs"
@@ -124,6 +150,9 @@ class BenchReport {
   bool has_ingest_ = false;
   std::string ingest_benchmark_;
   IngestStats ingest_stats_;
+  std::string scaling_benchmark_;
+  bool scaling_pinned_ = false;
+  std::vector<ScalingEntry> scaling_entries_;
   std::string obs_json_;
   std::vector<BenchResult> results_;
   std::vector<std::pair<std::string, double>> speedups_;

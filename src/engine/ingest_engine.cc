@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/thread_affinity.h"
 
 namespace gstream {
 
@@ -21,6 +23,159 @@ size_t IngestEngine::ShardOfItem(ItemId item, size_t n_shards) {
       (static_cast<__uint128_t>(h) * n_shards) >> 64);
 }
 
+// ---------------------------------------------------------------------------
+// ProducerHandle
+
+ProducerHandle::ProducerHandle(IngestEngine* engine, size_t index)
+    : engine_(engine), index_(index) {
+  open_.assign(engine_->shards_.size(), nullptr);
+  stats_.shard_updates.assign(engine_->shards_.size(), 0);
+  stats_.shard_ring_highwater.assign(engine_->shards_.size(), 0);
+  obs_synced_ = stats_;
+}
+
+void ProducerHandle::MaybePinSelf() {
+  if (pin_checked_) return;
+  pin_checked_ = true;
+  if (!engine_->options_.pin_threads) return;
+  // Producers take the cpus after the workers in the core map; best
+  // effort -- a failed affinity call changes nothing but placement.
+  PinCurrentThreadToCpu(static_cast<int>(
+      (engine_->shards_.size() + index_) % HardwareThreads()));
+}
+
+UpdateChunk* ProducerHandle::ReserveSpin(size_t s) {
+  SpscRing<UpdateChunk>& ring = engine_->shards_[s]->lanes[index_]->ring;
+  UpdateChunk* slot = ring.TryReserve();
+  if (slot != nullptr) return slot;
+  // Stall path (cold by construction -- the fast path above returned):
+  // record how long the full ring blocked us, not merely that it did.
+  ++stats_.producer_stalls;
+  const uint64_t t0 = obs::NowNs();
+  do {
+    std::this_thread::yield();
+    slot = ring.TryReserve();
+  } while (slot == nullptr);
+  const uint64_t stall_ns = obs::NowNs() - t0;
+  stats_.producer_stall_ns += stall_ns;
+  engine_->obs_.producer_stall_ns->Record(stall_ns);
+  return slot;
+}
+
+void ProducerHandle::NoteOccupancy(size_t s) {
+  const uint64_t occupancy =
+      engine_->shards_[s]->lanes[index_]->ring.SizeApprox();
+  if (occupancy > stats_.shard_ring_highwater[s]) {
+    stats_.shard_ring_highwater[s] = occupancy;
+  }
+}
+
+void ProducerHandle::AppendToShard(size_t s, const Update& u) {
+  UpdateChunk*& open = open_[s];
+  if (open == nullptr) {
+    open = ReserveSpin(s);
+    open->n = 0;
+  }
+  open->updates[open->n++] = u;
+  ++stats_.shard_updates[s];
+  if (open->n == engine_->options_.chunk_updates) {
+    engine_->shards_[s]->lanes[index_]->ring.Commit();
+    open = nullptr;
+    ++stats_.chunks_committed;
+    NoteOccupancy(s);
+  }
+}
+
+void ProducerHandle::CopyChunkToShard(size_t s, const Update* updates,
+                                      size_t n) {
+  UpdateChunk* slot = ReserveSpin(s);
+  slot->n = static_cast<uint32_t>(n);
+  std::memcpy(slot->updates, updates, n * sizeof(Update));
+  engine_->shards_[s]->lanes[index_]->ring.Commit();
+  stats_.shard_updates[s] += n;
+  ++stats_.chunks_committed;
+  NoteOccupancy(s);
+}
+
+void ProducerHandle::Submit(const Update* updates, size_t n) {
+  GSTREAM_CHECK(!closed_.load(std::memory_order_relaxed));
+  if (n == 0) return;
+  MaybePinSelf();
+  obs::TraceSpan span("engine/submit", "engine");
+  stats_.updates_submitted += n;
+  const size_t chunk = engine_->options_.chunk_updates;
+  switch (engine_->options_.policy) {
+    case PartitionPolicy::kHashItem: {
+      const size_t n_shards = engine_->shards_.size();
+      for (size_t i = 0; i < n; ++i) {
+        AppendToShard(IngestEngine::ShardOfItem(updates[i].item, n_shards),
+                      updates[i]);
+      }
+      break;
+    }
+    case PartitionPolicy::kRoundRobinChunks: {
+      for (size_t i = 0; i < n; i += chunk) {
+        const size_t s = round_robin_next_;
+        round_robin_next_ = (round_robin_next_ + 1) % engine_->shards_.size();
+        CopyChunkToShard(s, updates + i, std::min(chunk, n - i));
+      }
+      break;
+    }
+    case PartitionPolicy::kBroadcast: {
+      for (size_t i = 0; i < n; i += chunk) {
+        const size_t len = std::min(chunk, n - i);
+        for (size_t s = 0; s < engine_->shards_.size(); ++s) {
+          CopyChunkToShard(s, updates + i, len);
+        }
+      }
+      break;
+    }
+  }
+}
+
+void ProducerHandle::SubmitStream(const Stream& stream) {
+  Submit(stream.updates().data(), stream.length());
+}
+
+void ProducerHandle::SyncObs() {
+  if constexpr (!obs::kEnabled) return;
+  engine_->obs_.producer_updates[index_]->Add(stats_.updates_submitted -
+                                              obs_synced_.updates_submitted);
+  engine_->obs_.producer_stall_counts[index_]->Add(
+      stats_.producer_stalls - obs_synced_.producer_stalls);
+  engine_->obs_.producer_stall_ns_total[index_]->Add(
+      stats_.producer_stall_ns - obs_synced_.producer_stall_ns);
+  obs_synced_ = stats_;
+}
+
+void ProducerHandle::Close() {
+  if (closed_.load(std::memory_order_relaxed)) return;
+  for (size_t s = 0; s < engine_->shards_.size(); ++s) {
+    IngestEngine::Lane& lane = *engine_->shards_[s]->lanes[index_];
+    if (open_[s] != nullptr) {
+      if (open_[s]->n > 0) {
+        lane.ring.Commit();
+        ++stats_.chunks_committed;
+        // The final commit is an occupancy event like any other -- without
+        // this the high-water under-reports streams whose last chunk is
+        // partial.
+        NoteOccupancy(s);
+      }
+      open_[s] = nullptr;
+    }
+    // Commit-before-done (release) pairs with the worker's acquire load:
+    // the worker's post-done emptiness re-check observes the final chunks.
+    lane.done.store(true, std::memory_order_release);
+  }
+  SyncObs();
+  // Release everything above (final stats included) to whoever acquires
+  // closed() -- the engine's Close() does, before aggregating.
+  closed_.store(true, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// IngestEngine
+
 IngestEngine::IngestEngine(const IngestEngineOptions& options,
                            std::vector<BatchSink> sinks)
     : options_(options) {
@@ -28,13 +183,15 @@ IngestEngine::IngestEngine(const IngestEngineOptions& options,
   GSTREAM_CHECK_EQ(sinks.size(), options.shards);
   GSTREAM_CHECK_GE(options.chunk_updates, 1u);
   GSTREAM_CHECK_LE(options.chunk_updates, kStreamBatchSize);
+  GSTREAM_CHECK_GE(options.max_producers, 1u);
   shards_.reserve(options.shards);
-  stats_.shard_updates.assign(options.shards, 0);
-  stats_.shard_ring_highwater.assign(options.shards, 0);
-  obs_synced_ = stats_;
+  agg_stats_.shard_updates.assign(options.shards, 0);
+  agg_stats_.shard_ring_highwater.assign(options.shards, 0);
+  obs_synced_ = agg_stats_;
   // Instrument handles are fetched once here (registration is the only
-  // locked path); the routing hot path only ever touches stats_, which is
-  // mirrored into the registry at quiesce points (SyncObsRegistry).
+  // locked path); the routing hot path only ever touches per-handle
+  // stats, which are mirrored into the registry at quiesce points
+  // (SyncObsRegistry / ProducerHandle::SyncObs).
   obs::Registry& registry = obs::Registry::Get();
   obs_.updates_submitted = registry.GetCounter("engine/updates_submitted");
   obs_.chunks_committed = registry.GetCounter("engine/chunks_committed");
@@ -54,171 +211,189 @@ IngestEngine::IngestEngine(const IngestEngineOptions& options,
     obs_.shard_ring_highwater.push_back(
         registry.GetGauge(prefix + "ring_highwater"));
   }
+  for (size_t p = 0; p < options.max_producers; ++p) {
+    const std::string prefix = "engine/producer/" + std::to_string(p) + "/";
+    obs_.producer_updates.push_back(
+        registry.GetCounter(prefix + "updates_submitted"));
+    obs_.producer_stall_counts.push_back(
+        registry.GetCounter(prefix + "stalls"));
+    obs_.producer_stall_ns_total.push_back(
+        registry.GetCounter(prefix + "stall_ns_total"));
+  }
   for (size_t s = 0; s < options.shards; ++s) {
-    shards_.push_back(std::make_unique<Shard>(s, options.ring_chunks));
+    shards_.push_back(std::make_unique<Shard>(s, options.ring_chunks,
+                                              options.max_producers));
     shards_.back()->sink = std::move(sinks[s]);
     shards_.back()->obs_batch_size = batch_size;
     shards_.back()->obs_sink_batch_ns = sink_batch_ns;
     GSTREAM_CHECK(shards_.back()->sink != nullptr);
   }
+  // The handle pool is preallocated so AddProducer() is a lock-free
+  // index claim -- no list mutation races with running workers.
+  producers_.reserve(options.max_producers);
+  for (size_t p = 0; p < options.max_producers; ++p) {
+    producers_.emplace_back(
+        std::unique_ptr<ProducerHandle>(new ProducerHandle(this, p)));
+  }
   // Start workers only after every shard exists; workers touch nothing but
   // their own shard.
   for (auto& shard : shards_) {
     shard->worker = std::thread(&IngestEngine::WorkerLoop, shard.get());
+    if (options.pin_threads) {
+      PinThreadToCpu(shard->worker.native_handle(),
+                     static_cast<int>(shard->index % HardwareThreads()));
+    }
   }
 }
 
 IngestEngine::~IngestEngine() { Close(); }
 
 void IngestEngine::WorkerLoop(Shard* shard) {
+  const size_t n_lanes = shard->lanes.size();
   for (;;) {
-    UpdateChunk* chunk = shard->ring.Front();
-    if (chunk == nullptr) {
-      // Empty ring: only exit once `done` is set AND the ring is still
-      // empty afterwards.  The producer commits every chunk before setting
-      // `done` (release), so the acquire load here ensures the re-check
-      // observes all of them.
-      if (shard->done.load(std::memory_order_acquire)) {
-        if (shard->ring.Front() == nullptr) break;
-        continue;
-      }
-      std::this_thread::yield();
-      continue;
-    }
-    if constexpr (obs::kEnabled) {
-      // Batch-size distribution on every chunk (one slot-private atomic
-      // add per 512 updates); sink latency sampled 1-in-kBatchSampleEvery
-      // so the clock reads stay far below the kernel cost.
-      shard->obs_batch_size->Record(chunk->n);
-      if ((shard->drained_chunks++ & (obs::kBatchSampleEvery - 1)) == 0) {
-        const uint64_t t0 = obs::NowNs();
-        shard->sink(chunk->updates, chunk->n);
-        shard->obs_sink_batch_ns->Record(obs::NowNs() - t0);
+    // Rotate across lanes, one chunk per lane per pass: fairness across
+    // producers, and the single-lane case degenerates to the plain SPSC
+    // drain loop.
+    bool drained = false;
+    for (size_t l = 0; l < n_lanes; ++l) {
+      Lane& lane = *shard->lanes[l];
+      UpdateChunk* chunk = lane.ring.Front();
+      if (chunk == nullptr) continue;
+      drained = true;
+      if constexpr (obs::kEnabled) {
+        // Batch-size distribution on every chunk (one slot-private atomic
+        // add per 512 updates); sink latency sampled 1-in-kBatchSampleEvery
+        // so the clock reads stay far below the kernel cost.
+        shard->obs_batch_size->Record(chunk->n);
+        if ((shard->drained_chunks++ & (obs::kBatchSampleEvery - 1)) == 0) {
+          const uint64_t t0 = obs::NowNs();
+          shard->sink(chunk->updates, chunk->n);
+          shard->obs_sink_batch_ns->Record(obs::NowNs() - t0);
+        } else {
+          shard->sink(chunk->updates, chunk->n);
+        }
       } else {
         shard->sink(chunk->updates, chunk->n);
       }
-    } else {
-      shard->sink(chunk->updates, chunk->n);
+      lane.ring.Pop();
     }
-    shard->ring.Pop();
+    if (drained) continue;
+    // Every lane looked empty this pass: exit only once every lane's
+    // `done` is set AND its ring is still empty afterwards.  A producer
+    // commits its final chunks before setting done (release), so the
+    // acquire loads here ensure the re-check observes them.
+    bool all_done = true;
+    for (size_t l = 0; l < n_lanes && all_done; ++l) {
+      all_done = shard->lanes[l]->done.load(std::memory_order_acquire);
+    }
+    if (!all_done) {
+      std::this_thread::yield();
+      continue;
+    }
+    bool all_empty = true;
+    for (size_t l = 0; l < n_lanes && all_empty; ++l) {
+      all_empty = shard->lanes[l]->ring.Front() == nullptr;
+    }
+    if (all_empty) break;
   }
 }
 
-UpdateChunk* IngestEngine::ReserveSpin(Shard& s) {
-  UpdateChunk* slot = s.ring.TryReserve();
-  if (slot != nullptr) return slot;
-  // Stall path (cold by construction -- the fast path above returned):
-  // record how long the full ring blocked us, not merely that it did.
-  ++stats_.producer_stalls;
-  const uint64_t t0 = obs::NowNs();
-  do {
-    std::this_thread::yield();
-    slot = s.ring.TryReserve();
-  } while (slot == nullptr);
-  const uint64_t stall_ns = obs::NowNs() - t0;
-  stats_.producer_stall_ns += stall_ns;
-  obs_.producer_stall_ns->Record(stall_ns);
-  return slot;
-}
-
-void IngestEngine::AppendToShard(Shard& s, const Update& u) {
-  if (s.open == nullptr) {
-    s.open = ReserveSpin(s);
-    s.open->n = 0;
-  }
-  s.open->updates[s.open->n++] = u;
-  ++stats_.shard_updates[s.index];
-  if (s.open->n == options_.chunk_updates) {
-    s.ring.Commit();
-    s.open = nullptr;
-    ++stats_.chunks_committed;
-    NoteOccupancy(s);
-  }
-}
-
-void IngestEngine::CopyChunkToShard(Shard& s, const Update* updates,
-                                    size_t n) {
-  UpdateChunk* slot = ReserveSpin(s);
-  slot->n = static_cast<uint32_t>(n);
-  std::memcpy(slot->updates, updates, n * sizeof(Update));
-  s.ring.Commit();
-  stats_.shard_updates[s.index] += n;
-  ++stats_.chunks_committed;
-  NoteOccupancy(s);
+ProducerHandle* IngestEngine::AddProducer() {
+  GSTREAM_CHECK(!closed_);
+  const size_t index = next_producer_.fetch_add(1, std::memory_order_acq_rel);
+  GSTREAM_CHECK_LT(index, producers_.size());  // raise options.max_producers
+  return producers_[index].get();
 }
 
 void IngestEngine::Submit(const Update* updates, size_t n) {
   GSTREAM_CHECK(!closed_);
-  if (n == 0) return;
-  obs::TraceSpan span("engine/submit", "engine");
-  stats_.updates_submitted += n;
-  const size_t chunk = options_.chunk_updates;
-  switch (options_.policy) {
-    case PartitionPolicy::kHashItem: {
-      const size_t n_shards = shards_.size();
-      for (size_t i = 0; i < n; ++i) {
-        AppendToShard(*shards_[ShardOfItem(updates[i].item, n_shards)],
-                      updates[i]);
-      }
-      break;
-    }
-    case PartitionPolicy::kRoundRobinChunks: {
-      for (size_t i = 0; i < n; i += chunk) {
-        Shard& s = *shards_[round_robin_next_];
-        round_robin_next_ = (round_robin_next_ + 1) % shards_.size();
-        CopyChunkToShard(s, updates + i, std::min(chunk, n - i));
-      }
-      break;
-    }
-    case PartitionPolicy::kBroadcast: {
-      for (size_t i = 0; i < n; i += chunk) {
-        const size_t len = std::min(chunk, n - i);
-        for (auto& shard : shards_) {
-          CopyChunkToShard(*shard, updates + i, len);
-        }
-      }
-      break;
+  if (internal_ == nullptr) internal_ = AddProducer();
+  internal_->Submit(updates, n);
+}
+
+void IngestEngine::SubmitStream(const Stream& stream) {
+  Submit(stream.updates().data(), stream.length());
+}
+
+size_t IngestEngine::ClaimedProducers() const {
+  return std::min(next_producer_.load(std::memory_order_acquire),
+                  producers_.size());
+}
+
+void IngestEngine::AggregateStats() const {
+  agg_stats_ = IngestStats{};
+  agg_stats_.shard_updates.assign(shards_.size(), 0);
+  agg_stats_.shard_ring_highwater.assign(shards_.size(), 0);
+  const size_t claimed = ClaimedProducers();
+  for (size_t p = 0; p < claimed; ++p) {
+    const IngestStats& s = producers_[p]->stats_;
+    agg_stats_.updates_submitted += s.updates_submitted;
+    agg_stats_.chunks_committed += s.chunks_committed;
+    agg_stats_.producer_stalls += s.producer_stalls;
+    agg_stats_.producer_stall_ns += s.producer_stall_ns;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      agg_stats_.shard_updates[i] += s.shard_updates[i];
+      agg_stats_.shard_ring_highwater[i] = std::max(
+          agg_stats_.shard_ring_highwater[i], s.shard_ring_highwater[i]);
     }
   }
+}
+
+const IngestStats& IngestEngine::stats() const {
+  AggregateStats();
+  return agg_stats_;
 }
 
 void IngestEngine::SyncObsRegistry() {
   if constexpr (!obs::kEnabled) return;
-  obs_.updates_submitted->Add(stats_.updates_submitted -
+  AggregateStats();
+  obs_.updates_submitted->Add(agg_stats_.updates_submitted -
                               obs_synced_.updates_submitted);
-  obs_.chunks_committed->Add(stats_.chunks_committed -
+  obs_.chunks_committed->Add(agg_stats_.chunks_committed -
                              obs_synced_.chunks_committed);
-  obs_.producer_stalls->Add(stats_.producer_stalls -
+  obs_.producer_stalls->Add(agg_stats_.producer_stalls -
                             obs_synced_.producer_stalls);
   for (size_t s = 0; s < shards_.size(); ++s) {
-    obs_.shard_updates[s]->Add(stats_.shard_updates[s] -
+    obs_.shard_updates[s]->Add(agg_stats_.shard_updates[s] -
                                obs_synced_.shard_updates[s]);
     obs_.shard_ring_highwater[s]->UpdateMax(
-        static_cast<int64_t>(stats_.shard_ring_highwater[s]));
+        static_cast<int64_t>(agg_stats_.shard_ring_highwater[s]));
   }
-  obs_synced_ = stats_;
+  obs_synced_ = agg_stats_;
 }
 
 void IngestEngine::Flush() {
-  GSTREAM_CHECK(!closed_);
+  // Closed engines are already quiescent; the barrier below would also
+  // deadlock-free trivially, but skipping keeps Flush safe to layer over
+  // any lifecycle stage.
+  if (closed_) return;
   obs::TraceSpan span("engine/flush", "engine");
   obs::ScopedTimer timer(obs_.flush_ns);
   for (auto& shard : shards_) {
-    while (!shard->ring.Empty()) std::this_thread::yield();
+    for (auto& lane : shard->lanes) {
+      while (!lane->ring.Empty()) std::this_thread::yield();
+    }
   }
   SyncObsRegistry();
 }
 
 IngestProducerState IngestEngine::SnapshotProducerState() const {
+  // Checkpoints cover the single-producer lifecycle: the only claimable
+  // state is the internal handle's.
+  GSTREAM_CHECK_EQ(ClaimedProducers(), internal_ == nullptr ? 0u : 1u);
   IngestProducerState state;
-  state.round_robin_next = round_robin_next_;
-  state.stats = stats_;
   state.staged.resize(shards_.size());
+  if (internal_ == nullptr) {
+    state.stats.shard_updates.assign(shards_.size(), 0);
+    state.stats.shard_ring_highwater.assign(shards_.size(), 0);
+    return state;
+  }
+  state.round_robin_next = internal_->round_robin_next_;
+  state.stats = internal_->stats_;
   for (size_t s = 0; s < shards_.size(); ++s) {
-    const Shard& shard = *shards_[s];
-    if (shard.open != nullptr) {
-      state.staged[s].assign(shard.open->updates,
-                             shard.open->updates + shard.open->n);
+    const UpdateChunk* open = internal_->open_[s];
+    if (open != nullptr) {
+      state.staged[s].assign(open->updates, open->updates + open->n);
     }
   }
   return state;
@@ -226,50 +401,64 @@ IngestProducerState IngestEngine::SnapshotProducerState() const {
 
 void IngestEngine::RestoreProducerState(const IngestProducerState& state) {
   GSTREAM_CHECK(!closed_);
-  GSTREAM_CHECK_EQ(stats_.updates_submitted, 0u);
+  if (internal_ == nullptr) internal_ = AddProducer();
+  // Restore targets a fresh single-producer engine: nothing submitted,
+  // no external handles claimed.
+  GSTREAM_CHECK_EQ(ClaimedProducers(), 1u);
+  GSTREAM_CHECK_EQ(internal_->stats_.updates_submitted, 0u);
   GSTREAM_CHECK_EQ(state.staged.size(), shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
-    Shard& shard = *shards_[s];
-    GSTREAM_CHECK(shard.open == nullptr);
+    GSTREAM_CHECK(internal_->open_[s] == nullptr);
     // A full chunk would have been committed, never staged.
     GSTREAM_CHECK_LT(state.staged[s].size(), options_.chunk_updates);
     for (const Update& u : state.staged[s]) {
-      if (shard.open == nullptr) {
-        shard.open = ReserveSpin(shard);
-        shard.open->n = 0;
+      UpdateChunk*& open = internal_->open_[s];
+      if (open == nullptr) {
+        open = internal_->ReserveSpin(s);
+        open->n = 0;
       }
-      shard.open->updates[shard.open->n++] = u;
+      open->updates[open->n++] = u;
     }
   }
   // Adopt the counters last, wholesale: the re-staging above must not be
   // double-counted (the snapshot's stats already include those updates).
-  round_robin_next_ = state.round_robin_next;
-  stats_ = state.stats;
-  // Decoded checkpoints predate the telemetry vectors or carry another
-  // process's wall-clock; keep sizes sound and never re-mirror adopted
-  // history into this process's registry (it describes work this process
-  // did not perform).
-  stats_.shard_ring_highwater.resize(shards_.size(), 0);
-  obs_synced_ = stats_;
-}
-
-void IngestEngine::SubmitStream(const Stream& stream) {
-  Submit(stream.updates().data(), stream.length());
+  internal_->round_robin_next_ = state.round_robin_next;
+  internal_->stats_ = state.stats;
+  internal_->stats_.shard_updates.resize(shards_.size(), 0);
+  // Non-persisted telemetry restarts at zero, exactly like the GCKP
+  // decode path (which never wrote it): producer_stall_ns and
+  // shard_ring_highwater describe *this* process's wall-clock and ring
+  // behavior, and the header contract promises a resumed engine restarts
+  // them.  In-process snapshots carry live values; discard them so both
+  // restore paths agree bit for bit.
+  internal_->stats_.producer_stall_ns = 0;
+  internal_->stats_.shard_ring_highwater.assign(shards_.size(), 0);
+  // Never re-mirror adopted history into this process's registry (it
+  // describes work this process did not perform).
+  internal_->obs_synced_ = internal_->stats_;
+  AggregateStats();
+  obs_synced_ = agg_stats_;
 }
 
 void IngestEngine::Close() {
   if (closed_) return;
   obs::TraceSpan span("engine/close", "engine");
   closed_ = true;
-  for (auto& shard : shards_) {
-    if (shard->open != nullptr) {
-      if (shard->open->n > 0) {
-        shard->ring.Commit();
-        ++stats_.chunks_committed;
-      }
-      shard->open = nullptr;
+  if (internal_ != nullptr) internal_->Close();
+  const size_t claimed = ClaimedProducers();
+  for (size_t p = 0; p < claimed; ++p) {
+    // External handles must be closed by their owning threads first: the
+    // engine cannot safely flush another thread's staging chunks.  The
+    // acquire in closed() is also the happens-before edge that makes the
+    // stats aggregation below race-free.
+    GSTREAM_CHECK(producers_[p]->closed());
+  }
+  for (size_t p = claimed; p < producers_.size(); ++p) {
+    // Unclaimed lanes never had a producer; mark them done so workers can
+    // exit.
+    for (auto& shard : shards_) {
+      shard->lanes[p]->done.store(true, std::memory_order_release);
     }
-    shard->done.store(true, std::memory_order_release);
   }
   for (auto& shard : shards_) shard->worker.join();
   SyncObsRegistry();

@@ -1,18 +1,30 @@
-// Multi-threaded sharded ingestion engine.
+// Multi-threaded sharded ingestion engine with a multi-producer front end.
 //
 // The sketches in this library are linear: their state is a sum of
 // per-update contributions, and integer addition commutes.  Partitioning a
 // stream across N workers that own same-seed sketch replicas and summing
 // the replicas (MergeFrom) therefore reproduces the sequential sketch state
 // *bit for bit* -- sharding is exact, not approximate.  The engine turns
-// that observation into a subsystem: a producer thread calls Submit() with
-// runs of updates, the engine frames them into chunks of at most
-// `chunk_updates` (kStreamBatchSize by default, the same framing
-// Stream::ForEachBatch uses), routes each chunk to a worker according to
-// the partitioning policy, and each worker drains its fixed-capacity SPSC
-// ring straight into its sink's UpdateBatch kernel.  Close() flushes
-// partial chunks, joins the workers, and leaves the per-shard sinks ready
-// to merge.
+// that observation into a subsystem: producer threads submit runs of
+// updates, the engine frames them into chunks of at most `chunk_updates`
+// (kStreamBatchSize by default, the same framing Stream::ForEachBatch
+// uses), routes each chunk to a worker according to the partitioning
+// policy, and each worker drains its fixed-capacity SPSC rings straight
+// into its sink's UpdateBatch kernel.  Close() joins the workers and
+// leaves the per-shard sinks ready to merge.
+//
+// Multi-producer ingest (ProducerHandle): up to `max_producers` threads
+// may feed one engine concurrently.  Each producer claims a handle via
+// AddProducer() and owns one private SPSC *lane* (ring + staging chunk)
+// per shard -- lanes fan into the shard worker, which rotates across them,
+// so every ring keeps exactly one writer and one reader and the lock-free
+// SPSC protocol carries over unchanged.  Producers submitting disjoint
+// stream slices end bit-identical to a sequential pass over the
+// concatenated slices under kHashItem and kRoundRobinChunks: each
+// producer's chunk framing is deterministic, and merge order across lanes
+// is irrelevant by linearity (docs/engine.md has the full happens-before
+// argument).  IngestEngine::Submit() remains the single-producer
+// convenience: it lazily claims an internal handle.
 //
 // Partitioning policies:
 //   * kHashItem        -- shard = mix(item) % N: each shard sees a fixed
@@ -20,19 +32,29 @@
 //                         disjoint sub-vectors (useful when shards are also
 //                         queried individually).  Updates are scattered
 //                         into per-shard staging chunks.
-//   * kRoundRobinChunks-- whole chunks rotate across shards: perfectly
-//                         load-balanced regardless of item skew.
-//   * kBroadcast       -- every worker sees every chunk, in order: used to
-//                         run independent repetitions (e.g. the g-sum
-//                         estimator's medianed reps) concurrently; each
-//                         worker observes exactly the sequential chunk
-//                         sequence.
+//   * kRoundRobinChunks-- whole chunks rotate across shards (per producer):
+//                         perfectly load-balanced regardless of item skew.
+//   * kBroadcast       -- every worker sees every chunk: used to run
+//                         independent repetitions (e.g. the g-sum
+//                         estimator's medianed reps) concurrently.  With a
+//                         single producer each worker observes exactly the
+//                         sequential chunk sequence; with several, each
+//                         worker sees every producer's chunks but in an
+//                         arbitrary interleave -- exact for linear sinks
+//                         only.
 // Merge-after-close is exact for the first two by linearity; under
-// kBroadcast each sink individually equals its sequential self.
+// kBroadcast each sink individually equals its sequential self (single
+// producer) or the same multiset of chunks (multi-producer).
 //
 // Backpressure: Submit() blocks (spin + yield) while a destination ring is
-// full, so memory stays bounded at shards * ring_chunks * 8 KiB; the stall
-// count is reported in stats().
+// full, so memory stays bounded at
+// shards * max_producers * ring_chunks * 8 KiB; stall counts and stall
+// time are reported per producer and in the aggregated stats().
+//
+// Core-aware placement: with options.pin_threads (default off), shard
+// worker s is pinned to cpu `s % HardwareThreads()` and producer p pins
+// itself to cpu `(shards + p) % HardwareThreads()` on its first Submit --
+// best effort, never fatal (util/thread_affinity.h).
 
 #ifndef GSTREAM_ENGINE_INGEST_ENGINE_H_
 #define GSTREAM_ENGINE_INGEST_ENGINE_H_
@@ -61,12 +83,21 @@ struct IngestEngineOptions {
   // Worker threads, each owning one sink.
   size_t shards = 4;
   PartitionPolicy policy = PartitionPolicy::kRoundRobinChunks;
-  // Ring capacity per shard, in chunks (rounded up to a power of two).
+  // Ring capacity per lane, in chunks (rounded up to a power of two).
   size_t ring_chunks = 32;
   // Updates per chunk; must be in [1, kStreamBatchSize].  Keeping the
   // default preserves ForEachBatch framing, which makes kBroadcast feeds
   // bit-identical to a sequential ProcessStream pass per sink.
   size_t chunk_updates = kStreamBatchSize;
+  // Producer lanes per shard.  AddProducer() may be called at most this
+  // many times (the engine's own Submit() claims one lazily, like any
+  // other producer).  Lanes are preallocated at construction, so ring
+  // memory scales with shards * max_producers * ring_chunks.
+  size_t max_producers = 1;
+  // Pin worker threads (at construction) and producer threads (at first
+  // Submit) to cores as described in the header comment.  Best effort;
+  // default off.
+  bool pin_threads = false;
 };
 
 // One framed chunk as it crosses a ring: a fixed 8 KiB update array plus
@@ -84,10 +115,10 @@ struct UpdateChunk {
 struct IngestStats {
   uint64_t updates_submitted = 0;
   uint64_t chunks_committed = 0;
-  // Times the producer found a destination ring full and had to wait --
+  // Times a producer found a destination ring full and had to wait --
   // nonzero means the workers, not the feed, were the bottleneck.
   uint64_t producer_stalls = 0;
-  // Total nanoseconds the producer spent blocked on full rings, so
+  // Total nanoseconds producers spent blocked on full rings, so
   // backpressure is quantifiable, not just countable.  (The per-stall
   // distribution is the registry histogram "engine/producer_stall_ns".)
   // Wall-clock telemetry, not routing state: checkpoints do not persist
@@ -95,9 +126,10 @@ struct IngestStats {
   uint64_t producer_stall_ns = 0;
   // Updates routed to each shard (producer-side accounting).
   std::vector<uint64_t> shard_updates;
-  // Highest ring occupancy (in chunks) observed per shard at commit time.
-  // Capacity-saturated values mean the shard's worker is the bottleneck.
-  // Telemetry like producer_stall_ns: not persisted by checkpoints.
+  // Highest lane occupancy (in chunks) observed per shard at commit time
+  // (max across that shard's lanes).  Capacity-saturated values mean the
+  // shard's worker is the bottleneck.  Telemetry like producer_stall_ns:
+  // not persisted by checkpoints.
   std::vector<uint64_t> shard_ring_highwater;
 };
 
@@ -106,7 +138,9 @@ struct IngestStats {
 // stopped.  Composite sinks (top-k trackers) depend on chunk framing, not
 // just on the multiset of updates, so resuming bit-exactly requires
 // replaying the staged partial chunks and the round-robin position -- not
-// merely the stream cursor.
+// merely the stream cursor.  Snapshot/restore cover the engine's internal
+// default producer only (the checkpointed single-producer lifecycle);
+// engines with external ProducerHandles are not checkpointable.
 struct IngestProducerState {
   size_t round_robin_next = 0;
   IngestStats stats;
@@ -121,11 +155,82 @@ struct IngestProducerState {
 // s->UpdateBatch(u, n); } for a sketch replica `s`.
 using BatchSink = std::function<void(const Update*, size_t)>;
 
+class IngestEngine;
+
+// One producer's private front end into the engine: a claimed lane index
+// plus per-shard staging chunks, routing cursor, and stats.  Obtained from
+// IngestEngine::AddProducer(); owned by the engine (handles stay valid
+// until the engine is destroyed).
+//
+// Threading contract: all calls on one handle must come from one thread at
+// a time (the handle is the per-thread object -- one per producer thread
+// is the point).  Different handles are fully concurrent.  The owning
+// thread must call Close() before the engine's Close(); the engine
+// CHECK-fails on a still-open external handle, because it cannot safely
+// flush another thread's staging chunks.
+class ProducerHandle {
+ public:
+  ProducerHandle(const ProducerHandle&) = delete;
+  ProducerHandle& operator=(const ProducerHandle&) = delete;
+
+  // Routes `n` contiguous updates according to the engine's partitioning
+  // policy; blocks (spin + yield) while this producer's destination lane
+  // is full.
+  void Submit(const Update* updates, size_t n);
+  void SubmitStream(const Stream& stream);
+
+  // Commits this producer's partial staging chunks and marks its lanes
+  // done.  Idempotent; must run on the owning thread, before the engine's
+  // Close().  After Close() the handle's stats are stable and may be read
+  // from any thread that observed closed() == true.
+  void Close();
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+  size_t index() const { return index_; }
+
+  // This producer's own routing counters.  Exact between this thread's
+  // Submit calls; other threads may read only after closed().
+  const IngestStats& stats() const { return stats_; }
+
+ private:
+  friend class IngestEngine;
+  ProducerHandle(IngestEngine* engine, size_t index);
+
+  // Blocks until this producer's lane on shard `s` has a free slot.
+  UpdateChunk* ReserveSpin(size_t s);
+  // Appends one update to the shard's open staging chunk, committing when
+  // the chunk fills.
+  void AppendToShard(size_t s, const Update& u);
+  // Copies one pre-framed chunk into the shard's lane.
+  void CopyChunkToShard(size_t s, const Update* updates, size_t n);
+  // Tracks the occupancy high-water of this producer's lane on shard `s`
+  // after a commit (producer-side; see SpscRing::SizeApprox).
+  void NoteOccupancy(size_t s);
+  // One-shot best-effort self-pinning (options.pin_threads).
+  void MaybePinSelf();
+  // Mirrors this producer's counter deltas into the per-producer registry
+  // instruments ("engine/producer/<i>/...").  Called at Close().
+  void SyncObs();
+
+  IngestEngine* const engine_;
+  const size_t index_;  // lane index on every shard
+  // Per-shard reserved-but-uncommitted slots being filled (hash scatter).
+  std::vector<UpdateChunk*> open_;
+  size_t round_robin_next_ = 0;
+  IngestStats stats_;
+  IngestStats obs_synced_;
+  bool pin_checked_ = false;
+  // Set last in Close() (release); the engine's Close() acquires it, which
+  // is the happens-before edge that makes reading stats_ from the engine
+  // thread race-free.
+  std::atomic<bool> closed_{false};
+};
+
 // The engine proper.  Lifecycle: construct (workers start immediately) ->
-// Submit() any number of times from one producer thread -> Close() ->
-// inspect sinks / stats.  Sinks are owned by the caller and must outlive
-// the engine; ShardedIngestor (sharded_ingestor.h) packages the common
-// replicate-ingest-merge pattern on top.
+// Submit() / AddProducer()+Submit() -> close every external handle ->
+// Close() -> inspect sinks / stats.  Sinks are owned by the caller and
+// must outlive the engine; ShardedIngestor (sharded_ingestor.h) packages
+// the common replicate-ingest-merge pattern on top.
 class IngestEngine {
  public:
   IngestEngine(const IngestEngineOptions& options,
@@ -135,99 +240,128 @@ class IngestEngine {
   IngestEngine(const IngestEngine&) = delete;
   IngestEngine& operator=(const IngestEngine&) = delete;
 
-  // Routes `n` contiguous updates according to the partitioning policy.
-  // Single producer; blocks while destination rings are full.
+  // Claims the next producer lane.  Thread-safe; CHECK-fails past
+  // options.max_producers.  The returned handle is engine-owned and valid
+  // for the engine's lifetime; all its methods must be called from the
+  // claiming producer's thread.
+  ProducerHandle* AddProducer();
+
+  // Single-producer convenience: routes `n` contiguous updates through a
+  // lazily claimed internal handle.  Blocks while destination rings are
+  // full.  Counts against max_producers like any other producer.
   void Submit(const Update* updates, size_t n);
 
   // Convenience: submits the whole stream in arrival order.
   void SubmitStream(const Stream& stream);
 
-  // Flushes partial staging chunks, signals end-of-stream, and joins the
-  // workers.  Idempotent; after Close() the sinks hold their final state.
+  // Closes the internal handle, verifies every external handle is closed,
+  // signals end-of-stream, and joins the workers.  Idempotent; after
+  // Close() the sinks hold their final state.
   void Close();
 
   // Quiesce barrier: returns once every *committed* chunk has been applied
   // to its sink (rings observed empty; see SpscRing::Empty for the
   // happens-before argument).  Staged partial chunks are deliberately NOT
   // flushed -- committing them would change chunk framing versus an
-  // uninterrupted run, which composite sinks observe.  After Flush() the
-  // producer thread may read the sinks race-free until the next Submit;
-  // the workers stay parked on their rings.
+  // uninterrupted run, which composite sinks observe.  Callers must not
+  // Submit concurrently (quiesce means quiesce); after Flush() the sinks
+  // may be read race-free until the next Submit, the workers stay parked
+  // on their rings.  On a closed engine this is a no-op: every chunk was
+  // applied before the workers joined, so the barrier is trivially
+  // satisfied -- callers layering checkpoint/serving logic on a finished
+  // ingest must not crash.
   void Flush();
 
   // The producer-side routing state at a quiescent point (call Flush()
   // first if sink state is being captured alongside).  Pure read.
+  // Single-producer engines only (internal handle; CHECK-fails if
+  // external handles were claimed).
   IngestProducerState SnapshotProducerState() const;
 
   // Restores a snapshot into a freshly constructed engine (nothing
   // submitted yet, same shard count and chunk framing): re-stages the
   // partial chunks without re-counting them, then adopts the counters and
-  // round-robin cursor wholesale.  Subsequent Submit calls continue as if
-  // this engine had routed everything the snapshot's stats describe.
+  // round-robin cursor.  Non-persisted telemetry (producer_stall_ns,
+  // shard_ring_highwater) restarts at zero -- matching both the stats
+  // contract above and what a GCKP checkpoint round-trip decodes.
+  // Subsequent Submit calls continue as if this engine had routed
+  // everything the snapshot's stats describe.
   void RestoreProducerState(const IngestProducerState& state);
 
   size_t shards() const { return shards_.size(); }
+  size_t max_producers() const { return producers_.size(); }
   bool closed() const { return closed_; }
 
-  // Counters, all maintained producer-side as updates are routed: exact at
-  // any quiescent point between Submit calls, and final once Close() has
-  // returned.
-  const IngestStats& stats() const { return stats_; }
+  // Aggregated counters across all claimed producers: per-field sums,
+  // except shard_ring_highwater which is the per-shard max across lanes.
+  // Exact at quiescent points (no producer mid-Submit) and final once
+  // Close() has returned; with live external producers a call is racy and
+  // must be avoided (single-producer engines may read between their own
+  // Submit calls, as before).  The reference stays valid until the next
+  // stats() call.
+  const IngestStats& stats() const;
 
   // The shard an item routes to under kHashItem with `n_shards` shards.
   // Exposed so tests and callers can reason about sub-domain ownership.
   static size_t ShardOfItem(ItemId item, size_t n_shards);
 
  private:
-  struct Shard {
-    Shard(size_t index, size_t ring_chunks) : index(index), ring(ring_chunks) {}
-    const size_t index;  // position in shards_ / stats_.shard_updates
+  friend class ProducerHandle;
+
+  // One producer's private ring into one shard.  The done flag gets its
+  // own cache line: an idle worker polling it must not ping-pong the
+  // producer's ring counters.
+  struct Lane {
+    explicit Lane(size_t ring_chunks) : ring(ring_chunks) {}
     SpscRing<UpdateChunk> ring;
+    alignas(64) std::atomic<bool> done{false};
+  };
+
+  struct Shard {
+    Shard(size_t index, size_t ring_chunks, size_t n_lanes) : index(index) {
+      lanes.reserve(n_lanes);
+      for (size_t l = 0; l < n_lanes; ++l) {
+        lanes.push_back(std::make_unique<Lane>(ring_chunks));
+      }
+    }
+    const size_t index;  // position in shards_ / stats().shard_updates
+    // Lane l belongs to producer l; workers rotate across lanes, one
+    // chunk per lane per pass, so no producer can starve another.
+    std::vector<std::unique_ptr<Lane>> lanes;
     BatchSink sink;
     std::thread worker;
-    // Producer-side: the reserved-but-uncommitted slot being filled (hash
-    // scatter).  Hot under kHashItem (touched per update), so the
-    // worker-polled `done` flag below gets its own cache line -- an idle
-    // worker spinning on it must not ping-pong the producer's line.
-    UpdateChunk* open = nullptr;
     // Worker-side instrumentation (obs handles are process-lifetime;
     // fetched once at engine construction): per-chunk batch-size samples
     // plus 1-in-kBatchSampleEvery sink-latency timings.
     obs::Histogram* obs_batch_size = nullptr;
     obs::Histogram* obs_sink_batch_ns = nullptr;
     uint64_t drained_chunks = 0;  // worker-side sampling counter
-    alignas(64) std::atomic<bool> done{false};
   };
-
-  // Blocks until shard `s` has a free slot; counts stalls.
-  UpdateChunk* ReserveSpin(Shard& s);
-  // Appends one update to the shard's open staging chunk, committing when
-  // the chunk fills.
-  void AppendToShard(Shard& s, const Update& u);
-  // Copies one pre-framed chunk into the shard's ring.
-  void CopyChunkToShard(Shard& s, const Update* updates, size_t n);
 
   static void WorkerLoop(Shard* shard);
 
-  // Tracks the occupancy high-water of shard `s`'s ring after a commit
-  // (producer-side, telemetry-grade; see SpscRing::SizeApprox).
-  void NoteOccupancy(const Shard& s) {
-    const uint64_t occupancy = s.ring.SizeApprox();
-    if (occupancy > stats_.shard_ring_highwater[s.index]) {
-      stats_.shard_ring_highwater[s.index] = occupancy;
-    }
-  }
-
-  // Mirrors stats_ deltas since the last sync into the process-wide
-  // registry ("engine/..." instruments).  Called at quiesce points
-  // (Flush/Close) so the hot routing path never touches shared counters.
+  // Number of handles claimed so far, clamped to the preallocated pool.
+  size_t ClaimedProducers() const;
+  // Recomputes agg_stats_ from the per-producer stats.  Safe only when
+  // every claimed producer is quiescent or closed (see stats()).
+  void AggregateStats() const;
+  // Mirrors aggregated-stats deltas since the last sync into the
+  // process-wide registry ("engine/..." instruments).  Called at quiesce
+  // points (Flush/Close) so the hot routing path never touches shared
+  // counters.
   void SyncObsRegistry();
 
   IngestEngineOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  size_t round_robin_next_ = 0;
-  IngestStats stats_;
+  // Preallocated handle pool; producers_[i] owns lane i on every shard.
+  // Claimed in index order by next_producer_.
+  std::vector<std::unique_ptr<ProducerHandle>> producers_;
+  std::atomic<size_t> next_producer_{0};
+  ProducerHandle* internal_ = nullptr;  // lazily claimed by Submit()
   bool closed_ = false;
+
+  // Aggregation scratch (stats() is const but materializes here).
+  mutable IngestStats agg_stats_;
 
   // Registry handles (process-lifetime) + the stats values already pushed,
   // so SyncObsRegistry adds exact deltas even across RestoreProducerState.
@@ -239,6 +373,11 @@ class IngestEngine {
     obs::Histogram* flush_ns = nullptr;
     std::vector<obs::Counter*> shard_updates;
     std::vector<obs::Gauge*> shard_ring_highwater;
+    // Per-producer instruments ("engine/producer/<i>/..."), mirrored by
+    // each handle at its Close().
+    std::vector<obs::Counter*> producer_updates;
+    std::vector<obs::Counter*> producer_stall_counts;
+    std::vector<obs::Counter*> producer_stall_ns_total;
   };
   EngineObs obs_;
   IngestStats obs_synced_;

@@ -82,6 +82,15 @@ class ShardedIngestor {
     GSTREAM_CHECK(engine_ != nullptr);
     engine_->Submit(updates, n);
   }
+
+  // Claims a producer lane for a concurrent feed thread (see
+  // IngestEngine::AddProducer); options.max_producers bounds the claims.
+  // Each handle must be Close()d by its owning thread before Close()
+  // here.
+  ProducerHandle* AddProducer() {
+    GSTREAM_CHECK(engine_ != nullptr);
+    return engine_->AddProducer();
+  }
   void SubmitStream(const Stream& stream) {
     Submit(stream.updates().data(), stream.length());
   }

@@ -89,10 +89,18 @@ class SpscRing {
   }
 
   // Producer-side occupancy estimate in slots (committed minus popped).
-  // Both loads are relaxed -- the consumer may pop concurrently, so the
-  // value is a telemetry-grade snapshot (never larger than the true
-  // occupancy was at the tail read), which is all the ring high-water
-  // instrumentation needs.
+  // Both loads are relaxed; the consumer may pop concurrently, so the
+  // relaxed `head_` read can LAG real pops -- the estimate is therefore
+  // never *smaller* than the true occupancy at the call (pops can only be
+  // missed, never invented; `tail_` is the caller's own counter and is
+  // exact), i.e. it is a conservative over-estimate.  When the producer
+  // calls it right after Commit() it is also bounded by capacity():
+  // read-read coherence means this `head_` load cannot observe a value
+  // older than the producer's own `cached_head_`, and the reserve that
+  // preceded the commit proved `tail - cached_head_ < capacity`.  A
+  // conservative upper bound bounded by capacity is exactly what the
+  // ring high-water telemetry wants.  Producer-thread only: from any
+  // third thread both counters may lag and neither bound holds.
   size_t SizeApprox() const {
     return static_cast<size_t>(tail_.load(std::memory_order_relaxed) -
                                head_.load(std::memory_order_relaxed));

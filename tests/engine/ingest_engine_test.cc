@@ -753,5 +753,128 @@ TEST(IngestEngineDeathTest, MergeOfDifferentSeedReplicasTripsFingerprint) {
       "GSTREAM_CHECK");
 }
 
+TEST(IngestEngineTest, FlushAfterCloseIsANoOp) {
+  // A closed engine is already quiescent -- every committed chunk was
+  // applied before the workers joined -- so a quiesce barrier on it is
+  // trivially satisfied.  This used to GSTREAM_CHECK-abort, crashing
+  // callers that layer checkpoint/serving logic over a finished ingest.
+  const Stream stream = MakeTurnstileStream(216);
+  uint64_t delivered = 0;
+  std::vector<BatchSink> sinks;
+  sinks.push_back(
+      [&delivered](const Update* /*ups*/, size_t n) { delivered += n; });
+  IngestEngineOptions options;
+  options.shards = 1;
+  IngestEngine engine(options, std::move(sinks));
+  engine.SubmitStream(stream);
+  engine.Close();
+  engine.Flush();  // must not abort
+  engine.Flush();  // and stays idempotent
+  EXPECT_EQ(delivered, stream.length());
+  EXPECT_EQ(engine.stats().updates_submitted, stream.length());
+}
+
+TEST(IngestEngineTest, CloseCommitRecordsRingOccupancyHighwater) {
+  // Fewer updates than one chunk under the hash scatter: nothing commits
+  // before Close(), so the final partial-chunk commit is the *only*
+  // occupancy event -- and it must be recorded like any other (the
+  // high-water used to skip it and report 0).  The sleeping sink keeps the
+  // worker from popping the chunk before the producer-side occupancy read.
+  std::vector<BatchSink> sinks;
+  sinks.push_back([](const Update* /*ups*/, size_t /*n*/) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  });
+  IngestEngineOptions options;
+  options.shards = 1;
+  options.policy = PartitionPolicy::kHashItem;
+  options.chunk_updates = 64;
+  IngestEngine engine(options, std::move(sinks));
+  Stream tiny(1 << 8);
+  for (int i = 0; i < 7; ++i) tiny.Append(static_cast<ItemId>(i), 1);
+  engine.SubmitStream(tiny);
+  engine.Close();
+  const IngestStats& stats = engine.stats();
+  EXPECT_EQ(stats.chunks_committed, 1u);
+  ASSERT_EQ(stats.shard_ring_highwater.size(), 1u);
+  EXPECT_GE(stats.shard_ring_highwater[0], 1u);
+}
+
+TEST(IngestEngineTest, RestoreZerosNonPersistedTelemetry) {
+  // The stats contract: producer_stall_ns and shard_ring_highwater are
+  // wall-clock telemetry of *this* process, never persisted, and a resumed
+  // engine restarts them at zero.  The GCKP decode path honors that by
+  // omission; the in-process snapshot carries live values and
+  // RestoreProducerState used to adopt them wholesale.
+  const Stream stream = MakeTurnstileStream(217);
+  auto make_sinks = [] {
+    std::vector<BatchSink> sinks;
+    sinks.push_back([](const Update* /*ups*/, size_t /*n*/) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    });
+    return sinks;
+  };
+  IngestEngineOptions options;
+  options.shards = 1;
+  options.ring_chunks = 2;
+  options.chunk_updates = 16;
+  IngestEngine first(options, make_sinks());
+  first.SubmitStream(stream);
+  first.Flush();
+  const IngestProducerState state = first.SnapshotProducerState();
+  first.Close();
+  // The slow consumer guaranteed live telemetry in the snapshot.
+  ASSERT_GT(state.stats.producer_stall_ns, 0u);
+  ASSERT_GT(state.stats.shard_ring_highwater[0], 0u);
+
+  IngestEngine resumed(options, make_sinks());
+  resumed.RestoreProducerState(state);
+  const IngestStats& restored = resumed.stats();
+  // Routing state survives; telemetry restarts.
+  EXPECT_EQ(restored.updates_submitted, state.stats.updates_submitted);
+  EXPECT_EQ(restored.chunks_committed, state.stats.chunks_committed);
+  EXPECT_EQ(restored.producer_stalls, state.stats.producer_stalls);
+  EXPECT_EQ(restored.producer_stall_ns, 0u);
+  ASSERT_EQ(restored.shard_ring_highwater.size(), 1u);
+  EXPECT_EQ(restored.shard_ring_highwater[0], 0u);
+  resumed.Close();
+}
+
+TEST(IngestEngineTest, MultiProducerDisjointSlicesBitIdenticalToSequential) {
+  // Smoke pin for the multi-producer front end in the main engine suite:
+  // three producer threads submitting disjoint thirds of the stream
+  // through their own ProducerHandles, merged state bit-identical to one
+  // sequential pass.  tests/engine/multi_producer_test.cc runs the full
+  // 1-8 shards x 1-4 producers matrix over every sketch family.
+  const Stream stream = MakeTurnstileStream(218);
+  Rng seq_rng(kSeed);
+  CountSketch sequential(CountSketchOptions{5, 256}, seq_rng);
+  ProcessStream(sequential, stream);
+
+  for (const PartitionPolicy policy : kMergePolicies) {
+    IngestEngineOptions options;
+    options.policy = policy;
+    options.max_producers = 3;
+    ShardedIngestor<CountSketch> ingest(options, [](size_t) {
+      Rng rng(kSeed);
+      return CountSketch(CountSketchOptions{5, 256}, rng);
+    });
+    ingest.Open(4);
+    const std::vector<Update>& ups = stream.updates();
+    std::vector<std::thread> producers;
+    for (size_t p = 0; p < 3; ++p) {
+      const size_t begin = p * ups.size() / 3;
+      const size_t end = (p + 1) * ups.size() / 3;
+      producers.emplace_back([&ingest, &ups, begin, end] {
+        ProducerHandle* handle = ingest.AddProducer();
+        handle->Submit(ups.data() + begin, end - begin);
+        handle->Close();
+      });
+    }
+    for (std::thread& t : producers) t.join();
+    EXPECT_EQ(ingest.Close().counters(), sequential.counters())
+        << "policy=" << static_cast<int>(policy);
+  }
+}
+
 }  // namespace
 }  // namespace gstream

@@ -13,8 +13,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sketch/count_sketch.h"
@@ -63,15 +65,19 @@ std::string UninterruptedRun(PartitionPolicy policy,
 }
 
 void ResumeIsBitExact(PartitionPolicy policy) {
+  // Per-policy file names: ctest may run the two policy variants of this
+  // test concurrently in one TempDir, and shared paths would collide.
+  const std::string tag = std::to_string(static_cast<int>(policy));
   CheckpointOptions ckpt;
   ckpt.interval_updates = 2 * kStreamBatchSize;
-  ckpt.path = TempPath("ckpt_ref.gckp");
+  ckpt.path = TempPath("ckpt_ref_" + tag + ".gckp");
   const std::string reference = UninterruptedRun(policy, ckpt);
+  const std::string ref_path = ckpt.path;
 
   // Interrupted run: stop right after the second checkpoint lands ("the
   // process dies"), then restore into a brand-new ingestor and finish.
   const Stream stream = MakeTestStream();
-  ckpt.path = TempPath("ckpt_resume.gckp");
+  ckpt.path = TempPath("ckpt_resume_" + tag + ".gckp");
   uint64_t died_at = 0;
   {
     ShardedIngestor<CountSketchTopK> ingest = MakeIngestor(policy);
@@ -101,7 +107,7 @@ void ResumeIsBitExact(PartitionPolicy policy) {
   ASSERT_EQ(end, stream.length());
   EXPECT_EQ(SerializeSketch(resumed.Close()), reference);
 
-  std::remove(TempPath("ckpt_ref.gckp").c_str());
+  std::remove(ref_path.c_str());
   std::remove(ckpt.path.c_str());
 }
 
@@ -138,6 +144,64 @@ TEST(CheckpointTest, ResumePreservesIngestStats) {
             full_stats.updates_submitted);
   EXPECT_EQ(image.producer.stats.shard_updates, full_stats.shard_updates);
   std::remove(ckpt.path.c_str());
+}
+
+TEST(CheckpointTest, RestoredStatsAgreeBetweenDecodedAndInProcessSnapshots) {
+  // The GCKP wire format never persists producer_stall_ns or
+  // shard_ring_highwater (wall-clock telemetry), while an in-process
+  // snapshot carries live nonzero values.  RestoreProducerState must zero
+  // the non-persisted fields, so a resumed engine reports identical stats
+  // whether its state came through the wire or stayed in memory.
+  auto make_sinks = [] {
+    std::vector<BatchSink> sinks;
+    sinks.push_back([](const Update* /*ups*/, size_t /*n*/) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    });
+    return sinks;
+  };
+  IngestEngineOptions options;
+  options.shards = 1;
+  options.ring_chunks = 2;  // minimum ring + slow sink: stalls guaranteed
+  options.chunk_updates = 16;
+  const Stream stream = MakeTestStream();
+
+  IngestEngine live(options, make_sinks());
+  live.Submit(stream.updates().data(), 2000);
+  live.Flush();
+  const IngestProducerState snapshot = live.SnapshotProducerState();
+  live.Close();
+  ASSERT_GT(snapshot.stats.producer_stall_ns, 0u);
+  ASSERT_EQ(snapshot.stats.shard_ring_highwater.size(), 1u);
+  ASSERT_GT(snapshot.stats.shard_ring_highwater[0], 0u);
+
+  CheckpointImage image;
+  image.cursor = 2000;
+  image.producer = snapshot;
+  image.shard_blobs = {"opaque shard blob"};
+  CheckpointImage decoded;
+  ASSERT_TRUE(DecodeCheckpoint(EncodeCheckpoint(image), &decoded).ok());
+  // The wire round-trip drops the telemetry by construction.
+  EXPECT_EQ(decoded.producer.stats.producer_stall_ns, 0u);
+  EXPECT_TRUE(decoded.producer.stats.shard_ring_highwater.empty());
+
+  const auto restore_and_read = [&](const IngestProducerState& state) {
+    IngestEngine engine(options, make_sinks());
+    engine.RestoreProducerState(state);
+    const IngestStats stats = engine.stats();
+    engine.Close();
+    return stats;
+  };
+  const IngestStats in_process = restore_and_read(snapshot);
+  const IngestStats from_wire = restore_and_read(decoded.producer);
+  EXPECT_EQ(in_process.updates_submitted, from_wire.updates_submitted);
+  EXPECT_EQ(in_process.chunks_committed, from_wire.chunks_committed);
+  EXPECT_EQ(in_process.producer_stalls, from_wire.producer_stalls);
+  EXPECT_EQ(in_process.producer_stall_ns, from_wire.producer_stall_ns);
+  EXPECT_EQ(in_process.shard_updates, from_wire.shard_updates);
+  EXPECT_EQ(in_process.shard_ring_highwater, from_wire.shard_ring_highwater);
+  // And both restart the telemetry at zero, per the stats contract.
+  EXPECT_EQ(in_process.producer_stall_ns, 0u);
+  EXPECT_EQ(in_process.shard_ring_highwater, std::vector<uint64_t>{0});
 }
 
 TEST(CheckpointTest, ImageEncodeDecodeRoundtrip) {

@@ -10,8 +10,22 @@
 //     the kernel layer pinned to the scalar reference tier
 //     (ForceIsaTier), so the number is comparable across hosts and to the
 //     pre-SIMD trajectory;
-//   * batched_simd -- the same batched path under CPUID dispatch (the
-//     best tier this host runs; recorded as workload.isa_tier).
+//   * batched_simd -- the same batched path under CPUID dispatch for the
+//     hash kernels but with the scatter/gather table entries pinned to
+//     the scalar references (ForceScalarScatter) -- exactly what this
+//     variant measured before the vector scatter kernels existed, so the
+//     series stays comparable across PRs;
+//   * batched_scatter -- fully dispatched (the production default,
+//     recorded as workload.isa_tier): per-entry winners, currently the
+//     scalar scatter loop + the tier's native vector gather, chosen from
+//     measurement (docs/simd.md).
+// A conflict-sensitivity sweep reruns the CountSketch batched pair on
+// zipf 0.8/1.1/1.4 streams (count_sketch/scatter_zipf* variants) with the
+// native vector scatter force-published: higher skew means more duplicate
+// buckets per SIMD block, and the sweep documents what the vpconflictq
+// path measures there -- the evidence behind the per-entry winner choice.
+// count_sketch/decode{,_scalar} isolates the gather_signed decode the
+// same way.
 // plus the end-to-end one-pass g-sum pipeline (single vs batched), the
 // one-pass heavy hitter sequential vs engine-fed (`one_pass_hh/batched`
 // vs `one_pass_hh/sharded{1,4}`, exercising the candidate-union merge),
@@ -24,7 +38,8 @@
 //   --trace PATH   also record engine lifecycle spans and write them as
 //                  chrome://tracing trace-event JSON (docs/observability.md)
 //   --updates N    CountSketch/Count-Min stream length (default 10000000)
-//   --quick        divide all workloads by 20 (CI smoke mode)
+//   --quick        kernel-work perf loop: 1M-update main stream, 10x
+//                  smaller satellite streams, no thread-scaling sweep
 //   --threads N    thread-scaling sweep ceiling: for t = 1..N, t producer
 //                  threads feed t shards through the multi-producer front
 //                  end; recorded as the report's "scaling" block
@@ -259,11 +274,40 @@ BenchResult MeasureScalarTier(obs::Histogram* hist, const std::string& name,
   return result;
 }
 
-Stream MakeZipfStream(size_t updates, Rng& rng) {
+// Runs `fn` under CPUID dispatch but with the scatter/gather table entries
+// pinned to the scalar reference kernels.  This is the exact configuration
+// `batched_simd` measured before the vector scatter kernels existed (SIMD
+// hashing, scalar scatter), so that series keeps its meaning and the new
+// `batched_scatter` variants isolate what scatter/gather dispatch buys.
+template <typename Fn>
+BenchResult MeasureScalarScatter(obs::Histogram* hist, const std::string& name,
+                                 size_t updates, size_t repeats, Fn&& fn) {
+  simd::ForceScatterDispatch(simd::ScatterDispatch::kScalar);
+  BenchResult result =
+      MeasureBatched(hist, name, updates, repeats, std::forward<Fn>(fn));
+  simd::ForceScatterDispatch(simd::ScatterDispatch::kDefault);
+  return result;
+}
+
+// Runs `fn` with the tier's native vector scatter/gather kernels published
+// even where default dispatch picks the scalar winner -- the knob behind
+// the conflict-sensitivity sweep, which exists to document what the
+// vpconflictq scatter path actually measures under rising skew.
+template <typename Fn>
+BenchResult MeasureVectorScatter(obs::Histogram* hist, const std::string& name,
+                                 size_t updates, size_t repeats, Fn&& fn) {
+  simd::ForceScatterDispatch(simd::ScatterDispatch::kVector);
+  BenchResult result =
+      MeasureBatched(hist, name, updates, repeats, std::forward<Fn>(fn));
+  simd::ForceScatterDispatch(simd::ScatterDispatch::kDefault);
+  return result;
+}
+
+Stream MakeZipfStream(size_t updates, double zipf, Rng& rng) {
   std::vector<double> cdf(kItems);
   double total = 0.0;
   for (size_t r = 0; r < kItems; ++r) {
-    total += 1.0 / std::pow(static_cast<double>(r + 1), kZipf);
+    total += 1.0 / std::pow(static_cast<double>(r + 1), zipf);
     cdf[r] = total;
   }
   for (double& c : cdf) c /= total;
@@ -384,6 +428,7 @@ int Run(int argc, char** argv) {
   size_t divisor = 1;
   size_t max_threads = 4;
   bool pin = false;
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
@@ -392,7 +437,7 @@ int Run(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--updates") == 0 && i + 1 < argc) {
       cs_updates = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--quick") == 0) {
-      divisor = 20;
+      quick = true;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       max_threads = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
       max_threads = std::min(std::max<size_t>(max_threads, 1), size_t{8});
@@ -412,15 +457,22 @@ int Run(int argc, char** argv) {
       obs::Registry::Get().GetHistogram("sketch/batch_ns");
   obs::Histogram* const engine_batch_ns =
       obs::Registry::Get().GetHistogram("engine/sink_batch_ns");
-  cs_updates /= divisor;
+  // --quick is the kernel-work perf loop: a 1M-update main stream,
+  // 10x-smaller satellite streams, and no thread-scaling sweep, so one
+  // full report lands in seconds instead of minutes.
+  if (quick) {
+    cs_updates = std::min<size_t>(cs_updates, 1000000);
+    divisor = 10;
+  }
   const size_t ams_updates = 2000000 / divisor;
   const size_t gnp_updates = 1000000 / divisor;
   const size_t gsum_updates = 200000 / divisor;
+  const size_t sweep_updates = 2000000 / divisor;
 
   Rng stream_rng(0xbe9c);
   std::fprintf(stderr, "generating %zu-update Zipfian stream...\n",
                cs_updates);
-  const Stream stream = MakeZipfStream(cs_updates, stream_rng);
+  const Stream stream = MakeZipfStream(cs_updates, kZipf, stream_rng);
   // Cost-scaled prefixes for the more expensive sketches.
   Stream ams_stream(kDomain);
   Stream gnp_stream(kDomain);
@@ -453,9 +505,10 @@ int Run(int argc, char** argv) {
     CountSketch cs(CountSketchOptions{5, 1024}, rng);
     return DriveSingle(cs, stream);
   }));
-  // One shared body per batched/batched_simd pair: the speedup keys and
-  // the CI assertions rest on the two variants running *identical* code
-  // under different kernel tiers, so the identity is kept structural.
+  // One shared body per batched/batched_simd/batched_scatter triple: the
+  // speedup keys and the CI assertions rest on the variants running
+  // *identical* code under different kernel configurations, so the
+  // identity is kept structural.
   const auto run_cs_batched = [&] {
     Rng rng(1);
     CountSketch cs(CountSketchOptions{5, 1024}, rng);
@@ -463,7 +516,10 @@ int Run(int argc, char** argv) {
   };
   report.Add(MeasureScalarTier(sketch_batch_ns, "count_sketch/batched",
                                stream.length(), repeats, run_cs_batched));
-  report.Add(MeasureBatched(sketch_batch_ns, "count_sketch/batched_simd",
+  report.Add(MeasureScalarScatter(sketch_batch_ns,
+                                  "count_sketch/batched_simd",
+                                  stream.length(), repeats, run_cs_batched));
+  report.Add(MeasureBatched(sketch_batch_ns, "count_sketch/batched_scatter",
                             stream.length(), repeats, run_cs_batched));
 
   // Sharded ingestion engine scaling (1/2/4/8 workers, round-robin chunks,
@@ -503,8 +559,9 @@ int Run(int argc, char** argv) {
   // cores; on a single-core host the sweep instead bounds the concurrency
   // overhead (stall time, ring high-water) -- either way the scaling block
   // records what this host actually did.  Best-of-3 per point; the best
-  // run donates its stats.
-  {
+  // run donates its stats.  Skipped under --quick (the report then has no
+  // scaling block), which is most of what makes --quick seconds-fast.
+  if (!quick) {
     std::vector<bench::ScalingEntry> scaling;
     for (size_t t = 1; t <= max_threads; ++t) {
       std::fprintf(stderr, "scaling sweep: %zu producer(s) x %zu shard(s)\n",
@@ -553,7 +610,9 @@ int Run(int argc, char** argv) {
   };
   report.Add(MeasureScalarTier(sketch_batch_ns, "count_min/batched",
                                stream.length(), repeats, run_cm_batched));
-  report.Add(MeasureBatched(sketch_batch_ns, "count_min/batched_simd",
+  report.Add(MeasureScalarScatter(sketch_batch_ns, "count_min/batched_simd",
+                                  stream.length(), repeats, run_cm_batched));
+  report.Add(MeasureBatched(sketch_batch_ns, "count_min/batched_scatter",
                             stream.length(), repeats, run_cm_batched));
 
   // AMS (16 x 5 estimators).
@@ -575,8 +634,72 @@ int Run(int argc, char** argv) {
   report.Add(MeasureScalarTier(sketch_batch_ns, "ams/batched",
                                ams_stream.length(), repeats,
                                run_ams_batched));
-  report.Add(MeasureBatched(sketch_batch_ns, "ams/batched_simd",
+  report.Add(MeasureScalarScatter(sketch_batch_ns, "ams/batched_simd",
+                                  ams_stream.length(), repeats,
+                                  run_ams_batched));
+  // AMS has no scatter pass (the fused estimator-major kernel reduces in
+  // registers), so batched_scatter is a deliberate perf-neutrality
+  // control: it must track batched_simd to within noise.
+  report.Add(MeasureBatched(sketch_batch_ns, "ams/batched_scatter",
                             ams_stream.length(), repeats, run_ams_batched));
+
+  // Conflict-sensitivity sweep: the CountSketch batched pair on zipf
+  // 0.8 / 1.1 / 1.4 streams of equal length.  Heavier skew concentrates
+  // updates on few items, which after bucket hashing means duplicate
+  // indices inside one SIMD block -- the case the AVX-512 vpconflictq
+  // fold pays for.  scatter_zipfZ publishes the tier's native *vector*
+  // scatter kernels; the _scalar twin pins scalar scatter under the same
+  // SIMD hashing, so the per-zipf ratio isolates the vector scatter
+  // sequence under rising conflict pressure.  On measured AVX-512
+  // hardware every cell loses (the reason default dispatch picks the
+  // scalar scatter winner; see docs/simd.md) -- the sweep keeps that
+  // decision honest PR over PR.
+  for (const double z : {0.8, 1.1, 1.4}) {
+    Rng sweep_rng(0x5eed + static_cast<uint64_t>(z * 10));
+    const Stream sweep_stream = MakeZipfStream(sweep_updates, z, sweep_rng);
+    char ztag[16];
+    std::snprintf(ztag, sizeof(ztag), "%.1f", z);
+    const auto run_sweep = [&] {
+      Rng rng(1);
+      CountSketch cs(CountSketchOptions{5, 1024}, rng);
+      return DriveBatched(cs, sweep_stream);
+    };
+    report.Add(MeasureScalarScatter(
+        sketch_batch_ns,
+        std::string("count_sketch/scatter_zipf") + ztag + "_scalar",
+        sweep_stream.length(), repeats, run_sweep));
+    report.Add(MeasureVectorScatter(
+        sketch_batch_ns, std::string("count_sketch/scatter_zipf") + ztag,
+        sweep_stream.length(), repeats, run_sweep));
+  }
+
+  // The decode gather: EstimateAll over large probe batches, scalar
+  // gather vs the dispatched vector gather (the one scatter/gather entry
+  // whose vector kernel *wins* on measured hardware, so default dispatch
+  // keeps it native).
+  {
+    Rng rng(1);
+    CountSketch cs(CountSketchOptions{5, 1024}, rng);
+    DriveBatched(cs, stream);
+    std::vector<ItemId> probes(1 << 16);
+    Rng probe_rng(0xdec0de);
+    for (ItemId& p : probes) p = probe_rng.UniformUint64(kDomain);
+    const size_t decode_rounds = 64;
+    const auto run_decode = [&] {
+      int64_t sink = 0;
+      std::vector<int64_t> est;
+      for (size_t r = 0; r < decode_rounds; ++r) {
+        est = cs.EstimateAll(probes);
+        sink ^= est[r % est.size()];
+      }
+      return static_cast<size_t>(sink & 1) + cs.SpaceBytes();
+    };
+    const size_t decode_probes = probes.size() * decode_rounds;
+    report.Add(MeasureScalarScatter(nullptr, "count_sketch/decode_scalar",
+                                    decode_probes, repeats, run_decode));
+    report.Add(MeasureBatched(nullptr, "count_sketch/decode", decode_probes,
+                              repeats, run_decode));
+  }
 
   // g_np sketch (64 substreams, 24 trials, 20 id bits).
   GnpSketchOptions gnp_options;
@@ -732,6 +855,25 @@ int Run(int argc, char** argv) {
                     "count_min/batched_simd", "count_min/batched");
   report.AddSpeedup("ams_batched_simd_vs_batched", "ams/batched_simd",
                     "ams/batched");
+  // Vector scatter vs scalar scatter, identical SIMD hashing in both: the
+  // tentpole ratio of the scatter-kernel work.  The CI floor is 0.95x --
+  // a dispatched scatter that *loses* to the scalar loop means the
+  // per-tier winner selection regressed.
+  report.AddSpeedup("count_sketch_batched_scatter_vs_batched_simd",
+                    "count_sketch/batched_scatter",
+                    "count_sketch/batched_simd");
+  report.AddSpeedup("count_min_batched_scatter_vs_batched_simd",
+                    "count_min/batched_scatter", "count_min/batched_simd");
+  report.AddSpeedup("ams_batched_scatter_vs_batched_simd",
+                    "ams/batched_scatter", "ams/batched_simd");
+  for (const char* ztag : {"0.8", "1.1", "1.4"}) {
+    report.AddSpeedup(
+        std::string("count_sketch_scatter_zipf") + ztag + "_vs_scalar",
+        std::string("count_sketch/scatter_zipf") + ztag,
+        std::string("count_sketch/scatter_zipf") + ztag + "_scalar");
+  }
+  report.AddSpeedup("count_sketch_decode_vs_scalar", "count_sketch/decode",
+                    "count_sketch/decode_scalar");
   // Engine overhead ratios compare like with like: the sharded workers run
   // the dispatched kernels, so the denominator is batched_simd -- and the
   // key names say so (the pre-SIMD *_vs_batched series ended with PR 4;

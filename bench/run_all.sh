@@ -4,7 +4,10 @@
 #
 # Usage:
 #   bench/run_all.sh            # full run (10M-update Zipfian stream)
-#   bench/run_all.sh --quick    # 20x smaller workloads (CI smoke)
+#   bench/run_all.sh --quick    # kernel-work perf loop: 1M-update main
+#                               # stream, 10x smaller satellite streams,
+#                               # no thread-scaling sweep -- seconds, not
+#                               # minutes
 #
 # Extra arguments are forwarded to bench_sketch (see bench/README.md).
 set -euo pipefail

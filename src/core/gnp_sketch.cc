@@ -46,6 +46,7 @@ GnpHeavyHitter::GnpHeavyHitter(const GnpSketchOptions& options, Rng& rng)
   counters_.assign(options.substreams * options.trials *
                        (static_cast<size_t>(options.id_bits) + 1),
                    0);
+  mask_scratch_.resize(((options.trials + 63) / 64) * simd::kSimdBlock);
   // Fingerprint the drawn substream and trial hashes by probing them, the
   // same guard discipline as the linear sketches: equal iff the sketches
   // were constructed from equal-state Rngs.
@@ -109,51 +110,53 @@ void GnpHeavyHitter::UpdateBatch(const gstream::Update* updates, size_t n) {
                                ? ~uint64_t{0}
                                : ((uint64_t{1} << options_.id_bits) - 1);
   const size_t trials = options_.trials;
-  if (trials > 64) {
-    // The packed trial masks below hold one bit per trial; configurations
-    // beyond 64 trials (never used in practice) take the per-update path.
-    for (size_t i = 0; i < n; ++i) Update(updates[i].item, updates[i].delta);
-    return;
-  }
+  const size_t words = (trials + 63) / 64;
   // Three vectorized hash passes per L1-resident block through the
   // dispatched SIMD layer -- substream hash, substream fastrange, and one
   // lane-parallel parity pass per trial packing the sampling indicators
-  // into a per-item bitmask -- then one scalar scatter that walks only the
-  // set bits.  The per-trial hashing this replaces was the entire gap
-  // between gnp/batched and gnp/single (trials x MulAddMod61 per item).
-  // Parities and substreams are derived from the same canonical values as
-  // Update's TrialSampled/SubstreamOf, so counters stay bit-identical.
+  // into per-item bitmask words (word-major in mask_scratch_, one word per
+  // 64 trials, so >64-trial geometries batch like any other) -- then one
+  // scalar scatter that walks only the set bits.  The per-trial hashing
+  // this replaces was the entire gap between gnp/batched and gnp/single
+  // (trials x MulAddMod61 per item).  Parities and substreams are derived
+  // from the same canonical values as Update's TrialSampled/SubstreamOf,
+  // so counters stay bit-identical.
   const simd::SimdOps& ops = simd::Ops();
   const uint64_t* ta0 = t0_.data();
   const uint64_t* ta1 = t1_.data();
+  uint64_t* const masks = mask_scratch_.data();
   alignas(64) uint64_t xm[simd::kSimdBlock];
-  alignas(64) uint64_t masks[simd::kSimdBlock];
   alignas(64) int64_t delta[simd::kSimdBlock];
   alignas(64) uint32_t sub[simd::kSimdBlock];
   for (size_t base = 0; base < n; base += simd::kSimdBlock) {
     const size_t m = std::min(simd::kSimdBlock, n - base);
     ops.prepare_batch2(updates + base, m, xm, delta);
     ops.eval2_bucket(s0_, s1_, xm, options_.substreams, m, sub);
-    std::memset(masks, 0, m * sizeof(uint64_t));
+    for (size_t w = 0; w < words; ++w) {
+      std::memset(masks + w * simd::kSimdBlock, 0, m * sizeof(uint64_t));
+    }
     for (size_t t = 0; t < trials; ++t) {
-      ops.eval2_parity_or(ta0[t], ta1[t], xm, m, static_cast<unsigned>(t),
-                          masks);
+      ops.eval2_parity_or(ta0[t], ta1[t], xm, m,
+                          static_cast<unsigned>(t & 63),
+                          masks + (t >> 6) * simd::kSimdBlock);
     }
     for (size_t i = 0; i < m; ++i) {
-      uint64_t sampled = masks[i];
-      if (sampled == 0) continue;
       const int64_t d = delta[i];
       const uint64_t masked_id = updates[base + i].item & id_mask;
       int64_t* sub_base = counters_.data() + sub[i] * trials * slots;
-      while (sampled != 0) {
-        int64_t* cell = sub_base + LowestSetBit(sampled) * slots;
-        cell[0] += d;
-        uint64_t bits = masked_id;
-        while (bits != 0) {
-          cell[1 + LowestSetBit(bits)] += d;
-          bits &= bits - 1;
+      for (size_t w = 0; w < words; ++w) {
+        uint64_t sampled = masks[w * simd::kSimdBlock + i];
+        while (sampled != 0) {
+          const size_t t = (w << 6) + LowestSetBit(sampled);
+          int64_t* cell = sub_base + t * slots;
+          cell[0] += d;
+          uint64_t bits = masked_id;
+          while (bits != 0) {
+            cell[1 + LowestSetBit(bits)] += d;
+            bits &= bits - 1;
+          }
+          sampled &= sampled - 1;
         }
-        sampled &= sampled - 1;
       }
     }
   }

@@ -112,6 +112,13 @@ class GnpHeavyHitter : public GHeavyHitterSketch {
   std::vector<uint64_t> t1_;
   std::vector<int64_t> counters_;
   uint64_t hash_fingerprint_ = 0;  // guards MergeFrom
+  // UpdateBatch staging for the packed per-item trial bitmasks,
+  // word-major: word w of item i lives at [w * kSimdBlock + i], so each
+  // eval2_parity_or pass packs trial t into bit t%64 of word t/64.  Sized
+  // once at construction (ceil(trials/64) words per item); configurations
+  // beyond 64 trials take extra words instead of falling back to the
+  // per-update path.  Not sketch state: never serialized or compared.
+  std::vector<uint64_t> mask_scratch_;
 };
 
 }  // namespace gstream

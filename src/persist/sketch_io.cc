@@ -19,6 +19,7 @@
 #include "sketch/count_min.h"
 #include "sketch/count_sketch.h"
 #include "stream/exact.h"
+#include "util/aligned.h"
 #include "util/logging.h"
 
 namespace gstream {
@@ -216,8 +217,11 @@ LoadStatus ExpectDrained(const ByteReader& reader) {
 
 // Reads `n` i64 counters into `out`; `out` arrives pre-sized to the
 // destination geometry, so a corrupt length cannot drive allocation.
-LoadStatus ReadCounters(ByteReader* reader, const char* what,
-                        std::vector<int64_t>* out) {
+// Templated over the vector type: sketch counter arrays use the 64-byte-
+// aligned allocator (util/aligned.h), and the transactional temporaries
+// below must match the destination's type to move-assign on commit.
+template <typename Vec>
+LoadStatus ReadCounters(ByteReader* reader, const char* what, Vec* out) {
   for (int64_t& c : *out) {
     if (!reader->GetI64(&c)) return Truncated(what);
   }
@@ -257,7 +261,7 @@ struct SketchSerde {
       return GeometryMismatch("buckets", buckets, dst->buckets());
     }
     if (fp != dst->Fingerprint()) return FingerprintMismatch();
-    std::vector<int64_t> counters(dst->counters_.size());
+    AlignedI64Vector counters(dst->counters_.size());
     if (LoadStatus s = ReadCounters(&r, "count_sketch counters", &counters);
         !s.ok()) {
       return s;
@@ -295,7 +299,7 @@ struct SketchSerde {
       return GeometryMismatch("buckets", buckets, dst->options_.buckets);
     }
     if (fp != dst->Fingerprint()) return FingerprintMismatch();
-    std::vector<int64_t> counters(dst->counters_.size());
+    AlignedI64Vector counters(dst->counters_.size());
     if (LoadStatus s = ReadCounters(&r, "count_min counters", &counters);
         !s.ok()) {
       return s;
@@ -333,7 +337,7 @@ struct SketchSerde {
       return GeometryMismatch("groups", groups, dst->options_.groups);
     }
     if (fp != dst->Fingerprint()) return FingerprintMismatch();
-    std::vector<int64_t> sums(dst->sums_.size());
+    AlignedI64Vector sums(dst->sums_.size());
     if (LoadStatus s = ReadCounters(&r, "ams sums", &sums); !s.ok()) return s;
     if (LoadStatus s = ExpectDrained(r); !s.ok()) return s;
     dst->sums_ = std::move(sums);

@@ -15,6 +15,7 @@ AmsSketch::AmsSketch(const AmsOptions& options, Rng& rng)
   GSTREAM_CHECK_GE(options.groups, 1u);
   const size_t total = options.group_size * options.groups;
   sums_.assign(total, 0);
+  GSTREAM_DCHECK(IsCacheLineAligned(sums_.data()));
   mean_scratch_.resize(options.groups);
   uint64_t fp = 0xcbf29ce484222325ULL;
   for (size_t i = 0; i < total; ++i) {

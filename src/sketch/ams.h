@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sketch/linear_sketch.h"
+#include "util/aligned.h"
 #include "util/hash.h"
 #include "util/random.h"
 
@@ -53,9 +54,9 @@ class AmsSketch : public LinearSketch {
 
   size_t SpaceBytes() const override;
 
-  // Raw estimator sums (group_size * groups); used by the batch/single
-  // equivalence tests.
-  const std::vector<int64_t>& sums() const { return sums_; }
+  // Raw estimator sums (group_size * groups, 64-byte-aligned base -- see
+  // util/aligned.h); used by the batch/single equivalence tests.
+  const AlignedI64Vector& sums() const { return sums_; }
 
   // The hash-coefficient fingerprint that guards MergeFrom; see
   // CountSketch::Fingerprint.
@@ -65,8 +66,8 @@ class AmsSketch : public LinearSketch {
   friend struct persist::SketchSerde;
 
   AmsOptions options_;
-  KWiseHashBank sign_bank_;    // group_size * groups rows, 4-wise
-  std::vector<int64_t> sums_;  // Z per estimator
+  KWiseHashBank sign_bank_;  // group_size * groups rows, 4-wise
+  AlignedI64Vector sums_;    // Z per estimator, 64B-aligned base
   uint64_t hash_fingerprint_ = 0;
   mutable std::vector<double> mean_scratch_;  // median-of-means decode
 };

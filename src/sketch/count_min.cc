@@ -17,6 +17,7 @@ CountMinSketch::CountMinSketch(const CountMinOptions& options, Rng& rng)
   // products, so the bucket range must fit in 32 bits.
   GSTREAM_CHECK_LT(options.buckets, uint64_t{1} << 32);
   counters_.assign(options.rows * options.buckets, 0);
+  GSTREAM_DCHECK(IsCacheLineAligned(counters_.data()));
   row_scratch_.resize(options.rows);
   uint64_t fp = 0xcbf29ce484222325ULL;
   for (size_t j = 0; j < options.rows; ++j) {
@@ -73,10 +74,7 @@ void CountMinSketch::UpdateBatch(const gstream::Update* updates, size_t n) {
     ops.prepare_batch2(updates + base, m, xm, delta);
     for (size_t j = 0; j < rows; ++j) {
       ops.eval2_bucket(h0[j], h1[j], xm, b, m, idx);
-      int64_t* __restrict row = counters_.data() + j * b;
-      for (size_t i = 0; i < m; ++i) {
-        row[idx[i]] += delta[i];
-      }
+      ops.scatter_add(counters_.data() + j * b, idx, delta, m);
     }
   }
 }

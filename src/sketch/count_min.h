@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sketch/linear_sketch.h"
+#include "util/aligned.h"
 #include "util/hash.h"
 #include "util/random.h"
 
@@ -52,9 +53,9 @@ class CountMinSketch : public LinearSketch {
 
   size_t SpaceBytes() const override;
 
-  // Raw counter state (rows * buckets, row-major); used by the
-  // batch/single equivalence tests.
-  const std::vector<int64_t>& counters() const { return counters_; }
+  // Raw counter state (rows * buckets, row-major, 64-byte-aligned base --
+  // see util/aligned.h); used by the batch/single equivalence tests.
+  const AlignedI64Vector& counters() const { return counters_; }
 
   // The hash-coefficient fingerprint that guards MergeFrom; see
   // CountSketch::Fingerprint.
@@ -65,7 +66,7 @@ class CountMinSketch : public LinearSketch {
 
   CountMinOptions options_;
   KWiseHashBank bucket_bank_;  // one row each, 2-wise
-  std::vector<int64_t> counters_;
+  AlignedI64Vector counters_;  // rows * buckets, row-major, 64B-aligned
   uint64_t hash_fingerprint_ = 0;
   mutable std::vector<int64_t> row_scratch_;  // median decode
 };

@@ -40,6 +40,7 @@ CountSketch::CountSketch(const CountSketchOptions& options, Rng& rng)
   // products, so the bucket range must fit in 32 bits.
   GSTREAM_CHECK_LT(options.buckets, uint64_t{1} << 32);
   counters_.assign(options.rows * options.buckets, 0);
+  GSTREAM_DCHECK(IsCacheLineAligned(counters_.data()));
   row_scratch_.resize(options.rows);
   f2_scratch_.resize(options.rows);
   // Fingerprint the drawn hash functions by probing them; two sketches
@@ -80,10 +81,12 @@ void CountSketch::UpdateBatch(const gstream::Update* updates, size_t n) {
   // L1-resident block, (1) deinterleave the chunk and precompute the
   // shared per-item field powers, then per row (2) evaluate the row's
   // 4-wise polynomial lane-parallel and reduce to buckets, and (3)
-  // scatter the signed deltas.  All staging lives in stack arrays (6 x
-  // 512 x 8 B), and every tier produces the same canonical hashes, so the
-  // counters are bit-identical to the sequential Update loop under any
-  // dispatch.
+  // scatter the signed deltas through the dispatched scatter kernel
+  // (conflict-detected gather/scatter on AVX-512).  All staging lives in
+  // stack arrays (6 x 512 x 8 B), every tier produces the same canonical
+  // hashes, and duplicate-bucket folds commute under int64 wraparound, so
+  // the counters are bit-identical to the sequential Update loop under
+  // any dispatch.
   const simd::SimdOps& ops = simd::Ops();
   const size_t b = options_.buckets;
   const size_t rows = options_.rows;
@@ -103,10 +106,7 @@ void CountSketch::UpdateBatch(const gstream::Update* updates, size_t n) {
     for (size_t j = 0; j < rows; ++j) {
       ops.eval4_bucket(d0[j], d1[j], d2[j], d3[j], xm, x2, x3, delta, b, m,
                        idx, sd);
-      int64_t* __restrict row = counters_.data() + j * b;
-      for (size_t i = 0; i < m; ++i) {
-        row[idx[i]] += sd[i];
-      }
+      ops.scatter_add_signed(counters_.data() + j * b, idx, sd, m);
     }
   }
 }
@@ -159,10 +159,8 @@ void CountSketch::EstimateAllInto(const ItemId* items, size_t n,
     for (size_t j = 0; j < rows; ++j) {
       ops.eval4_bucket(d0[j], d1[j], d2[j], d3[j], xm, x2, x3, kOnes.data(),
                        b, m, idx, sign);
-      const int64_t* row = counters_.data() + j * b;
-      for (size_t i = 0; i < m; ++i) {
-        vals[j * simd::kSimdBlock + i] = row[idx[i]] * sign[i];
-      }
+      ops.gather_signed(counters_.data() + j * b, idx, sign, m,
+                        vals + j * simd::kSimdBlock);
     }
     for (size_t i = 0; i < m; ++i) {
       for (size_t j = 0; j < rows; ++j) {

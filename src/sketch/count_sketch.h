@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "sketch/linear_sketch.h"
+#include "util/aligned.h"
 #include "util/hash.h"
 #include "util/random.h"
 
@@ -102,9 +103,9 @@ class CountSketch : public LinearSketch {
   // can derive their own merge guards from their components'.
   uint64_t Fingerprint() const { return hash_fingerprint_; }
 
-  // Raw counter state (rows * buckets, row-major); used by the
-  // batch/single equivalence tests.
-  const std::vector<int64_t>& counters() const { return counters_; }
+  // Raw counter state (rows * buckets, row-major, 64-byte-aligned base --
+  // see util/aligned.h); used by the batch/single equivalence tests.
+  const AlignedI64Vector& counters() const { return counters_; }
 
  private:
   // The serializer restores counter state directly (never the hash
@@ -121,8 +122,8 @@ class CountSketch : public LinearSketch {
   }
 
   CountSketchOptions options_;
-  KWiseHashBank hash_bank_;        // one 4-wise polynomial per row
-  std::vector<int64_t> counters_;  // rows * buckets, row-major
+  KWiseHashBank hash_bank_;      // one 4-wise polynomial per row
+  AlignedI64Vector counters_;    // rows * buckets, row-major, 64B-aligned
   uint64_t hash_fingerprint_ = 0;  // guards MergeFrom
   // Reusable query scratch (median buffers and the rows x kSimdBlock
   // staging of the batched decode); members so the steady-state query

@@ -14,7 +14,8 @@ const SimdOps* GetScalarOps() {
       &ScalarPrepareBatch,   &ScalarPrepareBatch2, &ScalarFieldPowers,
       &ScalarEval4Row,       &ScalarEval2Row,      &ScalarFastRange,
       &ScalarEval4Bucket,    &ScalarEval2Bucket,   &ScalarEval4SignedSum,
-      &ScalarEval2ParityOr,
+      &ScalarEval2ParityOr,  &ScalarScatterAdd,    &ScalarScatterAddSigned,
+      &ScalarGatherSigned,
   };
   return &ops;
 }

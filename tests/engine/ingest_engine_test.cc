@@ -26,6 +26,7 @@
 #include "sketch/linear_sketch.h"
 #include "stream/exact.h"
 #include "stream/generators.h"
+#include "util/aligned.h"
 
 namespace gstream {
 namespace {
@@ -405,7 +406,7 @@ TEST(IngestEngineTest, DrainAllowsPerShardQueriesBeforeMerge) {
   ingest.SubmitStream(stream);
   ingest.Drain();
 
-  std::vector<int64_t> summed(sequential.counters().size(), 0);
+  AlignedI64Vector summed(sequential.counters().size(), 0);
   for (CountSketch& replica : ingest.replicas()) {
     for (size_t i = 0; i < summed.size(); ++i) {
       summed[i] += replica.counters()[i];

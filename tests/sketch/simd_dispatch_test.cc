@@ -13,7 +13,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <vector>
 
 #include "core/gnp_sketch.h"
@@ -46,8 +49,12 @@ class SimdDispatchTest : public ::testing::TestWithParam<IsaTier> {
                    << " not available on this build/host";
     }
   }
-  // Restore CPUID dispatch so later tests see the default tier.
-  void TearDown() override { simd::ClearForcedIsaTier(); }
+  // Restore CPUID dispatch and the default scatter policy so later tests
+  // see the production configuration.
+  void TearDown() override {
+    simd::ForceScatterDispatch(simd::ScatterDispatch::kDefault);
+    simd::ClearForcedIsaTier();
+  }
 };
 
 TEST_P(SimdDispatchTest, ForceAndClearRoundTrip) {
@@ -263,6 +270,170 @@ TEST_P(SimdDispatchTest, MergePinsHoldUnderForcedTier) {
   const std::vector<int64_t> merged_estimates =
       topk_a.sketch().EstimateAll(candidates);
   EXPECT_EQ(merged_estimates, estimates);
+}
+
+// Conflict-storm pins for the scatter/gather kernels.  The AVX-512 tier's
+// native scatter resolves duplicate buckets inside a lane group with a
+// vpconflictq-driven combine, so the adversarial patterns are exactly the
+// ones where every lane collides: one repeated key, two alternating keys,
+// and duplicate runs spanning whole kSimdBlock batches.  int64 wraparound
+// addition commutes, so every tier must land bit-identically on the
+// scalar loop.  ForceScatterDispatch(kVector) publishes the native vector
+// kernels -- default dispatch picks the scalar scatter winner (see
+// docs/simd.md), which would make this test vacuously scalar-vs-scalar.
+TEST_P(SimdDispatchTest, ScatterKernelsMatchScalarOnConflictStorms) {
+  ASSERT_TRUE(simd::ForceIsaTier(GetParam()));
+  simd::ForceScatterDispatch(simd::ScatterDispatch::kVector);
+  const simd::SimdOps& ops = simd::Ops();
+  Rng rng(0xc0f1);
+  const size_t kCounters = 1024;
+
+  struct Pattern {
+    const char* name;
+    size_t n;
+    std::function<uint32_t(size_t)> index_of;
+  };
+  const std::vector<Pattern> patterns = {
+      {"all_one_key", 517, [](size_t) { return 7u; }},
+      {"two_alternating", 517,
+       [](size_t i) { return (i & 1) ? 3u : 900u; }},
+      {"block_duplicate_runs", simd::kSimdBlock,
+       [](size_t i) { return static_cast<uint32_t>((i / 16) % 8); }},
+      {"lane_group_pairs", 64,
+       [](size_t i) { return static_cast<uint32_t>(i / 2); }},
+      {"skewed_random", 517, [&rng](size_t) {
+         return static_cast<uint32_t>(rng.UniformInt(0, 15));
+       }}};
+
+  for (const Pattern& p : patterns) {
+    std::vector<uint32_t> idx(p.n);
+    std::vector<int64_t> delta(p.n), sd(p.n), sign(p.n);
+    for (size_t i = 0; i < p.n; ++i) {
+      idx[i] = p.index_of(i);
+      delta[i] = static_cast<int64_t>(rng.UniformInt(-1000, 1000));
+      sign[i] = (rng.UniformInt(0, 1) == 0) ? 1 : -1;
+      sd[i] = delta[i] * sign[i];
+    }
+
+    std::vector<int64_t> got(kCounters, 0), want(kCounters, 0);
+    ops.scatter_add(got.data(), idx.data(), delta.data(), p.n);
+    simd::ScalarScatterAdd(want.data(), idx.data(), delta.data(), p.n);
+    EXPECT_EQ(got, want) << "scatter_add pattern " << p.name;
+
+    std::fill(got.begin(), got.end(), 0);
+    std::fill(want.begin(), want.end(), 0);
+    ops.scatter_add_signed(got.data(), idx.data(), sd.data(), p.n);
+    simd::ScalarScatterAddSigned(want.data(), idx.data(), sd.data(), p.n);
+    EXPECT_EQ(got, want) << "scatter_add_signed pattern " << p.name;
+
+    std::vector<int64_t> gout(p.n, 0), rout(p.n, 0);
+    ops.gather_signed(want.data(), idx.data(), sign.data(), p.n,
+                      gout.data());
+    simd::ScalarGatherSigned(want.data(), idx.data(), sign.data(), p.n,
+                             rout.data());
+    EXPECT_EQ(gout, rout) << "gather_signed pattern " << p.name;
+  }
+
+  // Wraparound fold order: deltas near the int64 extremes overflow inside
+  // a duplicate group; the contract is wraparound equality, not saturation.
+  {
+    const size_t n = 32;
+    std::vector<uint32_t> idx(n, 5);
+    std::vector<int64_t> delta(n);
+    for (size_t i = 0; i < n; ++i) {
+      delta[i] = (i & 1) ? std::numeric_limits<int64_t>::max()
+                         : std::numeric_limits<int64_t>::min() + 7;
+    }
+    std::vector<int64_t> got(kCounters, 0), want(kCounters, 0);
+    ops.scatter_add(got.data(), idx.data(), delta.data(), n);
+    simd::ScalarScatterAdd(want.data(), idx.data(), delta.data(), n);
+    EXPECT_EQ(got, want) << "wraparound duplicate fold";
+  }
+}
+
+// Whole-sketch conflict storms: streams whose batches are exactly the
+// adversarial duplicate patterns, pinned batch == single under the forced
+// tier with the native vector kernels published.  This drives the
+// conflict loop through the real sketch scatter passes (CountSketch
+// signed, Count-Min unsigned) rather than raw arrays.
+TEST_P(SimdDispatchTest, SketchConflictStormBatchSinglePin) {
+  ASSERT_TRUE(simd::ForceIsaTier(GetParam()));
+  simd::ForceScatterDispatch(simd::ScatterDispatch::kVector);
+  Rng srng(0x5701);
+  std::vector<Update> ups;
+  // One hot key for a full block, then two alternating keys, then runs of
+  // kSimdBlock duplicates of rotating keys, then a skewed-random coda.
+  for (size_t i = 0; i < simd::kSimdBlock; ++i) {
+    ups.push_back(Update{42, (i & 1) ? int64_t{3} : int64_t{-2}});
+  }
+  for (size_t i = 0; i < simd::kSimdBlock; ++i) {
+    ups.push_back(Update{(i & 1) ? ItemId{17} : ItemId{4099}, int64_t{1}});
+  }
+  for (size_t run = 0; run < 3; ++run) {
+    for (size_t i = 0; i < simd::kSimdBlock; ++i) {
+      ups.push_back(Update{ItemId{1000 + run},
+                           static_cast<int64_t>(srng.UniformInt(-4, 4))});
+    }
+  }
+  for (size_t i = 0; i < 700; ++i) {
+    ups.push_back(Update{static_cast<ItemId>(srng.UniformInt(0, 7)),
+                         static_cast<int64_t>(srng.UniformInt(-9, 9))});
+  }
+
+  Rng r1(77), r2(77), r3(78), r4(78);
+  CountSketch cs_single(CountSketchOptions{4, 320}, r1);
+  CountSketch cs_batched(CountSketchOptions{4, 320}, r2);
+  CountMinSketch cm_single(CountMinOptions{4, 320}, r3);
+  CountMinSketch cm_batched(CountMinOptions{4, 320}, r4);
+  for (const Update& u : ups) {
+    cs_single.Update(u.item, u.delta);
+    cm_single.Update(u.item, u.delta);
+  }
+  // Deliberately uneven chunking so block boundaries cut duplicate runs.
+  size_t consumed = 0, chunk = 5;
+  while (consumed < ups.size()) {
+    const size_t m = std::min(chunk, ups.size() - consumed);
+    cs_batched.UpdateBatch(ups.data() + consumed, m);
+    cm_batched.UpdateBatch(ups.data() + consumed, m);
+    consumed += m;
+    chunk = chunk * 2 + 1;
+  }
+  EXPECT_EQ(cs_single.counters(), cs_batched.counters());
+  EXPECT_EQ(cm_single.counters(), cm_batched.counters());
+
+  // The gather_signed decode path: duplicate probes in one batch.
+  std::vector<ItemId> probes(130, ItemId{42});
+  for (size_t i = 0; i < probes.size(); i += 3) probes[i] = 17;
+  EXPECT_EQ(cs_single.EstimateAll(probes), cs_batched.EstimateAll(probes));
+}
+
+// Regression for the >64-trial gnp geometry: the batched path packs trial
+// indicators into ceil(trials/64) mask words per item instead of falling
+// back to the per-update loop, and must stay bit-identical to Update().
+TEST_P(SimdDispatchTest, GnpManyTrialsBatchedMatchesSingle) {
+  ASSERT_TRUE(simd::ForceIsaTier(GetParam()));
+  const Stream stream = MakeTurnstileStream(0x9b9b, 1 << 10, 600);
+  for (const size_t trials : {size_t{70}, size_t{130}}) {
+    GnpSketchOptions options;
+    options.substreams = 16;
+    options.trials = trials;  // 2 and 3 mask words
+    options.id_bits = 10;
+    Rng r1(55), r2(55);
+    GnpHeavyHitter single(options, r1);
+    GnpHeavyHitter batched(options, r2);
+    ASSERT_EQ(single.Fingerprint(), batched.Fingerprint());
+    const std::vector<Update>& ups = stream.updates();
+    for (const Update& u : ups) single.Update(u.item, u.delta);
+    size_t consumed = 0, chunk = 3;
+    while (consumed < ups.size()) {
+      const size_t m = std::min(chunk, ups.size() - consumed);
+      batched.UpdateBatch(ups.data() + consumed, m);
+      consumed += m;
+      chunk = chunk * 2 + 1;
+    }
+    EXPECT_EQ(single.counters(), batched.counters())
+        << "trials = " << trials;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

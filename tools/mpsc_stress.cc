@@ -165,8 +165,8 @@ int Run(const Flags& f) {
   CountSketch& merged = ingest.Close();
 
   // Bit-exactness: every counter identical to the sequential reference.
-  const std::vector<int64_t>& got = merged.counters();
-  const std::vector<int64_t>& want = reference.counters();
+  const auto& got = merged.counters();
+  const auto& want = reference.counters();
   if (got.size() != want.size()) return Fail("counter array size differs");
   for (size_t i = 0; i < got.size(); ++i) {
     if (got[i] != want[i]) {

@@ -30,8 +30,11 @@
 // one-pass heavy hitter sequential vs engine-fed (`one_pass_hh/batched`
 // vs `one_pass_hh/sharded{1,4}`, exercising the candidate-union merge),
 // and, for CountSketch, the sharded ingestion engine at 1/2/4/8 worker
-// threads (round-robin chunks; `sharded4_hash` uses hash-by-item) -- the
-// Open -> Submit -> Close -> merge lifecycle of src/engine/.
+// threads (round-robin chunks; `sharded4_hash` uses hash-by-item,
+// `sharded4_deadline` reruns the 4-shard config under
+// OverloadPolicy::kDeadline to price the bounded-backpressure
+// bookkeeping) -- the Open -> Submit -> Close -> merge lifecycle of
+// src/engine/.
 //
 // Run via the `bench` CMake target or bench/run_all.sh; flags:
 //   --out PATH     JSON output path (default BENCH_sketch.json)
@@ -347,14 +350,22 @@ size_t DriveBatched(LinearSketch& sketch, const Stream& stream) {
 template <typename MakeFn>
 size_t DriveSharded(const Stream& stream, size_t shards,
                     PartitionPolicy policy, MakeFn&& make,
-                    IngestStats* stats_out = nullptr) {
+                    IngestStats* stats_out = nullptr,
+                    OverloadPolicy overload = OverloadPolicy::kBlock) {
   IngestEngineOptions options;
   options.shards = shards;
   options.policy = policy;
+  options.overload = overload;
+  // A generous budget: the deadline variant measures the policy's
+  // bookkeeping overhead on a healthy engine, not actual load shedding --
+  // a timeout here would make the throughput numbers incomparable.
+  options.stall_budget_ns = 1'000'000'000;
   using SketchT = decltype(make(size_t{0}));
   ShardedIngestor<SketchT> ingest(options, make);
   ingest.Open();
-  ingest.SubmitStream(stream);
+  const SubmitResult r = ingest.SubmitStream(stream);
+  GSTREAM_CHECK(r.ok());
+  GSTREAM_CHECK_EQ(r.accepted, stream.length());
   SketchT& merged = ingest.Close();
   if (stats_out != nullptr) *stats_out = ingest.stats();
   return merged.SpaceBytes();
@@ -544,7 +555,8 @@ int Run(int argc, char** argv) {
               stats_out);
         }));
   }
-  report.SetIngest("count_sketch/sharded4", sharded4_stats);
+  report.SetIngest("count_sketch/sharded4",
+                   OverloadPolicyName(OverloadPolicy::kBlock), sharded4_stats);
   report.Add(MeasureBatched(
       engine_batch_ns, "count_sketch/sharded4_hash", stream.length(), repeats,
       [&] {
@@ -552,6 +564,22 @@ int Run(int argc, char** argv) {
           Rng rng(1);
           return CountSketch(CountSketchOptions{5, 1024}, rng);
         });
+      }));
+  // Same 4-shard lifecycle under kDeadline with a budget no healthy run
+  // hits: what the bounded-backpressure bookkeeping (deadline arithmetic
+  // on the stall path, SubmitResult accounting) costs relative to kBlock.
+  // DriveSharded CHECKs the run stayed lossless, so the number is a pure
+  // overhead comparison; CI asserts the ratio stays within noise.
+  report.Add(MeasureBatched(
+      engine_batch_ns, "count_sketch/sharded4_deadline", stream.length(),
+      repeats, [&] {
+        return DriveSharded(
+            stream, 4, PartitionPolicy::kRoundRobinChunks,
+            [](size_t) {
+              Rng rng(1);
+              return CountSketch(CountSketchOptions{5, 1024}, rng);
+            },
+            nullptr, OverloadPolicy::kDeadline);
       }));
 
   // Thread-scaling sweep (--threads): for each t, t producer threads feed
@@ -888,6 +916,10 @@ int Run(int argc, char** argv) {
                     "count_sketch/seed_single");
   report.AddSpeedup("count_sketch_sharded4_hash_vs_batched_simd",
                     "count_sketch/sharded4_hash", "count_sketch/batched_simd");
+  // ~1.0 when healthy: kDeadline differs from kBlock only in stall-path
+  // arithmetic, which a lossless run barely touches.
+  report.AddSpeedup("count_sketch_sharded4_deadline_vs_sharded4",
+                    "count_sketch/sharded4_deadline", "count_sketch/sharded4");
   report.AddSpeedup("count_sketch_single_vs_seed", "count_sketch/single",
                     "count_sketch/seed_single");
   report.AddSpeedup("count_min_batched_vs_seed", "count_min/batched",

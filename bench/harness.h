@@ -100,12 +100,15 @@ class BenchReport {
                       const std::string& cpu_model);
 
   // Engine ingest accounting from one sharded run (`benchmark` names which
-  // one): producer stalls (count and total blocked ns), chunk/update
-  // routing and ring-occupancy high-water per shard.  Recorded in the JSON
-  // so engine scheduling regressions -- a shard starving, the producer
-  // blocking on full rings -- are visible next to the throughput numbers
-  // they would explain.
-  void SetIngest(const std::string& benchmark, const IngestStats& stats);
+  // one, `overload_policy` its OverloadPolicyName): producer stalls (count
+  // and total blocked ns), chunk/update routing, shed/applied accounting
+  // (the conservation halves, so an overload regression shows up as
+  // nonzero updates_shed under the default policy), and ring-occupancy
+  // high-water per shard.  Recorded in the JSON so engine scheduling
+  // regressions -- a shard starving, the producer blocking on full rings
+  // -- are visible next to the throughput numbers they would explain.
+  void SetIngest(const std::string& benchmark, const std::string& overload_policy,
+                 const IngestStats& stats);
 
   // The thread-scaling sweep (`benchmark` names the driven workload,
   // `pinned` records whether pin_threads was on).  Serialized as the
@@ -149,6 +152,7 @@ class BenchReport {
   std::string cpu_model_ = "unknown";
   bool has_ingest_ = false;
   std::string ingest_benchmark_;
+  std::string ingest_overload_policy_;
   IngestStats ingest_stats_;
   std::string scaling_benchmark_;
   bool scaling_pinned_ = false;

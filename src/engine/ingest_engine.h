@@ -46,10 +46,25 @@
 // kBroadcast each sink individually equals its sequential self (single
 // producer) or the same multiset of chunks (multi-producer).
 //
-// Backpressure: Submit() blocks (spin + yield) while a destination ring is
-// full, so memory stays bounded at
-// shards * max_producers * ring_chunks * 8 KiB; stall counts and stall
-// time are reported per producer and in the aggregated stats().
+// Backpressure: memory stays bounded at
+// shards * max_producers * ring_chunks * 8 KiB regardless of policy; what
+// happens when a destination ring is full is the engine's *overload
+// policy* (OverloadPolicy below, docs/robustness.md).  kBlock (default)
+// spins + yields until the worker frees a slot -- the bit-exact path.
+// kDeadline bounds the wait by options.stall_budget_ns and makes Submit
+// return a typed SubmitResult instead of spinning forever.  kShedOldest /
+// kShedIncoming drop data instead of waiting, with per-shard shed counters
+// making `routed == applied + shed` an exact conservation invariant.
+// Stall counts and stall time are reported per producer and in the
+// aggregated stats() under every policy.
+//
+// Failure reporting: a worker whose sink throws, or one the watchdog
+// (options.watchdog_ns) catches making no progress past its deadline, is
+// *poisoned*: it stops applying and sheds queued chunks (so producers
+// never hang on a dead shard), and the first failure is recorded as a
+// named EngineError that Flush()/Close() return and error() exposes.
+// Recovery is checkpoint/restart from the last good GCKP image
+// (docs/robustness.md has the recipe).
 //
 // Core-aware placement: with options.pin_threads (default off), shard
 // worker s is pinned to cpu `s % HardwareThreads()` and producer p pins
@@ -64,12 +79,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/spsc_ring.h"
 #include "obs/metrics.h"
 #include "stream/stream.h"
+#include "util/fault.h"
 
 namespace gstream {
 
@@ -77,6 +95,69 @@ enum class PartitionPolicy {
   kHashItem,
   kRoundRobinChunks,
   kBroadcast,
+};
+
+// What a producer does when its destination ring is full (see the
+// backpressure section of the header comment).  kBlock is the only policy
+// with the bit-exact guarantee; the others trade completeness for bounded
+// latency and account exactly for what they dropped.
+enum class OverloadPolicy {
+  // Spin + yield until the worker frees a slot.  Unbounded wait, zero
+  // loss: the default, and the policy every bit-exactness pin runs under.
+  kBlock,
+  // Wait at most options.stall_budget_ns, then give up: Submit() returns
+  // a SubmitResult with timed_out set and the tail of the batch
+  // unconsumed (the caller owns the retry/drop decision).  Nothing is
+  // shed by the engine itself.
+  kDeadline,
+  // Prefer fresh data: ask the worker to drop the oldest queued chunk on
+  // the full lane, and wait up to stall_budget_ns for the slot; if the
+  // worker does not free one in time (e.g. it is wedged in a slow sink),
+  // shed the incoming updates instead.  Either way the loss lands in the
+  // shed counters.
+  kShedOldest,
+  // Prefer queued data: drop the incoming updates immediately, never
+  // wait.  The cheapest policy under sustained overload.
+  kShedIncoming,
+};
+
+const char* OverloadPolicyName(OverloadPolicy policy);
+
+// Engine-level failure, reported once (first failure wins) and surfaced by
+// Flush()/Close()/error().  kNone means healthy.
+enum class EngineErrorCode {
+  kNone,
+  // The watchdog saw a worker with queued chunks make no progress for
+  // options.watchdog_ns: a silent hang converted into a named error.
+  kWorkerStalled,
+  // A sink threw; the worker caught it, poisoned the shard, and sheds
+  // everything further routed there.
+  kSinkException,
+};
+
+const char* EngineErrorCodeName(EngineErrorCode code);
+
+struct EngineError {
+  EngineErrorCode code = EngineErrorCode::kNone;
+  size_t shard = 0;     // meaningless when code == kNone
+  std::string detail;   // human-readable specifics (exception text, ...)
+  bool ok() const { return code == EngineErrorCode::kNone; }
+};
+
+// What Submit() did with the batch it was handed.  Under kBlock the result
+// is trivially accepted == n; the other policies make it informative.
+struct SubmitResult {
+  // Updates the engine took ownership of: applied-or-shed, counted in
+  // updates_submitted.  Always a prefix of the batch ([0, accepted)).
+  uint64_t accepted = 0;
+  // Of `accepted`, updates this call shed synchronously (kShedIncoming,
+  // or kShedOldest falling back).  Chunks a worker drops *later* under
+  // kShedOldest are not visible here -- only in stats().updates_shed.
+  uint64_t shed = 0;
+  // kDeadline only: the stall budget ran out; updates[accepted..n) were
+  // not consumed and remain the caller's.
+  bool timed_out = false;
+  bool ok() const { return !timed_out; }
 };
 
 struct IngestEngineOptions {
@@ -98,6 +179,18 @@ struct IngestEngineOptions {
   // Submit) to cores as described in the header comment.  Best effort;
   // default off.
   bool pin_threads = false;
+  // Full-ring behavior.  kBroadcast requires kBlock (a chunk shed on some
+  // shards but not others would give the "independent repetitions"
+  // different streams); the constructor CHECKs that.
+  OverloadPolicy overload = OverloadPolicy::kBlock;
+  // Per-reserve wait bound for kDeadline / kShedOldest, in nanoseconds.
+  // Ignored under kBlock (unbounded) and kShedIncoming (never waits).
+  uint64_t stall_budget_ns = 5'000'000;  // 5 ms
+  // Watchdog deadline: a worker with queued chunks that advances no chunk
+  // for this long is declared stalled (EngineErrorCode::kWorkerStalled)
+  // and poisoned so producers unblock.  0 (default) disables the
+  // watchdog thread entirely -- zero overhead, today's behavior.
+  uint64_t watchdog_ns = 0;
 };
 
 // One framed chunk as it crosses a ring: a fixed 8 KiB update array plus
@@ -124,8 +217,25 @@ struct IngestStats {
   // Wall-clock telemetry, not routing state: checkpoints do not persist
   // it, and a resumed engine restarts it at zero.
   uint64_t producer_stall_ns = 0;
-  // Updates routed to each shard (producer-side accounting).
+  // Updates dropped by the overload policy (producer-side incoming sheds
+  // plus worker-side oldest-chunk / poisoned-shard sheds).  Telemetry like
+  // producer_stall_ns: never persisted, and identically zero under
+  // kBlock on a healthy engine.
+  uint64_t updates_shed = 0;
+  // Submit() calls that hit the kDeadline stall budget and returned
+  // timed_out.  The unconsumed updates are NOT in updates_submitted.
+  uint64_t deadline_timeouts = 0;
+  // Updates actually applied to sinks, per the workers' own counters
+  // (engine aggregation only; always zero in a single producer's view).
+  // The conservation invariant, exact per shard at any quiescent point:
+  //   shard_updates[s] == shard_updates_applied[s] + shard_updates_shed[s]
+  uint64_t updates_applied = 0;
+  // Updates routed to each shard (producer-side accounting).  Includes
+  // updates later shed -- "routed" means the engine accepted them.
   std::vector<uint64_t> shard_updates;
+  // Per-shard halves of the conservation invariant above.
+  std::vector<uint64_t> shard_updates_applied;
+  std::vector<uint64_t> shard_updates_shed;
   // Highest lane occupancy (in chunks) observed per shard at commit time
   // (max across that shard's lanes).  Capacity-saturated values mean the
   // shard's worker is the bottleneck.  Telemetry like producer_stall_ns:
@@ -174,10 +284,13 @@ class ProducerHandle {
   ProducerHandle& operator=(const ProducerHandle&) = delete;
 
   // Routes `n` contiguous updates according to the engine's partitioning
-  // policy; blocks (spin + yield) while this producer's destination lane
-  // is full.
-  void Submit(const Update* updates, size_t n);
-  void SubmitStream(const Stream& stream);
+  // policy.  A full destination lane is handled per options.overload:
+  // kBlock spins (the returned result is trivially all-accepted);
+  // kDeadline may return early with timed_out set and the batch tail
+  // unconsumed; the shed policies always consume the whole batch but may
+  // drop part of it (result.shed, stats().updates_shed).
+  SubmitResult Submit(const Update* updates, size_t n);
+  SubmitResult SubmitStream(const Stream& stream);
 
   // Commits this producer's partial staging chunks and marks its lanes
   // done.  Idempotent; must run on the owning thread, before the engine's
@@ -196,13 +309,20 @@ class ProducerHandle {
   friend class IngestEngine;
   ProducerHandle(IngestEngine* engine, size_t index);
 
-  // Blocks until this producer's lane on shard `s` has a free slot.
-  UpdateChunk* ReserveSpin(size_t s);
+  // What one routing step did under the overload policy.
+  enum class RouteOutcome { kOk, kShed, kTimeout };
+
+  // Returns a free slot on this producer's lane on shard `s`, or nullptr
+  // when the overload policy gave up (deadline exhausted, or a shed
+  // policy declining to wait).  kBlock never returns nullptr.
+  UpdateChunk* ReserveSlot(size_t s);
   // Appends one update to the shard's open staging chunk, committing when
-  // the chunk fills.
-  void AppendToShard(size_t s, const Update& u);
-  // Copies one pre-framed chunk into the shard's lane.
-  void CopyChunkToShard(size_t s, const Update* updates, size_t n);
+  // the chunk fills.  kShed means the update was counted and dropped;
+  // kTimeout means it was not consumed at all.
+  RouteOutcome AppendToShard(size_t s, const Update& u);
+  // Copies one pre-framed chunk into the shard's lane (same outcome
+  // contract, over the whole chunk).
+  RouteOutcome CopyChunkToShard(size_t s, const Update* updates, size_t n);
   // Tracks the occupancy high-water of this producer's lane on shard `s`
   // after a commit (producer-side; see SpscRing::SizeApprox).
   void NoteOccupancy(size_t s);
@@ -247,17 +367,21 @@ class IngestEngine {
   ProducerHandle* AddProducer();
 
   // Single-producer convenience: routes `n` contiguous updates through a
-  // lazily claimed internal handle.  Blocks while destination rings are
-  // full.  Counts against max_producers like any other producer.
-  void Submit(const Update* updates, size_t n);
+  // lazily claimed internal handle, under the engine's overload policy
+  // (see ProducerHandle::Submit for the result contract).  Counts against
+  // max_producers like any other producer.
+  SubmitResult Submit(const Update* updates, size_t n);
 
   // Convenience: submits the whole stream in arrival order.
-  void SubmitStream(const Stream& stream);
+  SubmitResult SubmitStream(const Stream& stream);
 
   // Closes the internal handle, verifies every external handle is closed,
   // signals end-of-stream, and joins the workers.  Idempotent; after
-  // Close() the sinks hold their final state.
-  void Close();
+  // Close() the sinks hold their final state.  Returns the first engine
+  // error recorded over the run (EngineError::ok() on a healthy engine);
+  // on a degraded engine the sinks hold the applied prefix and the shed
+  // counters account exactly for the rest.
+  EngineError Close();
 
   // Quiesce barrier: returns once every *committed* chunk has been applied
   // to its sink (rings observed empty; see SpscRing::Empty for the
@@ -269,8 +393,16 @@ class IngestEngine {
   // on their rings.  On a closed engine this is a no-op: every chunk was
   // applied before the workers joined, so the barrier is trivially
   // satisfied -- callers layering checkpoint/serving logic on a finished
-  // ingest must not crash.
-  void Flush();
+  // ingest must not crash.  Returns error() -- and if a worker was
+  // declared stalled by the watchdog, gives up waiting on its rings after
+  // a grace period instead of spinning forever, so the caller gets the
+  // named error rather than the silent hang the watchdog exists to
+  // prevent (the quiesce guarantee then covers healthy shards only).
+  EngineError Flush();
+
+  // The first failure recorded on this engine (kNone while healthy).
+  // Thread-safe; stable once Close() returned.
+  EngineError error() const;
 
   // The producer-side routing state at a quiescent point (call Flush()
   // first if sink state is being captured alongside).  Pure read.
@@ -315,6 +447,14 @@ class IngestEngine {
     explicit Lane(size_t ring_chunks) : ring(ring_chunks) {}
     SpscRing<UpdateChunk> ring;
     alignas(64) std::atomic<bool> done{false};
+    // kShedOldest side-channel: the producer bumps this when it finds the
+    // ring full; the worker pops (without applying) one queued chunk per
+    // pending request, counting it shed, so the producer's reserve
+    // succeeds after at most one in-flight sink call.  Requests found
+    // with an empty ring are stale (the producer already got its slot)
+    // and are cancelled, so at most one extra chunk can be dropped per
+    // request -- a documented over-shed, never an under-count.
+    std::atomic<uint32_t> drop_oldest{0};
   };
 
   struct Shard {
@@ -336,9 +476,34 @@ class IngestEngine {
     obs::Histogram* obs_batch_size = nullptr;
     obs::Histogram* obs_sink_batch_ns = nullptr;
     uint64_t drained_chunks = 0;  // worker-side sampling counter
+    // Worker-side accounting, read by stats()/the watchdog from other
+    // threads: atomics with relaxed ordering (exact at quiescent points,
+    // monotone heuristics in between).
+    std::atomic<uint64_t> applied_updates{0};
+    std::atomic<uint64_t> shed_updates{0};
+    // Chunks consumed (applied, shed, or dropped): the watchdog's
+    // progress signal.
+    std::atomic<uint64_t> progress{0};
+    // Set by the worker on a sink exception or by the watchdog on a
+    // stall: a poisoned worker applies nothing further and sheds every
+    // queued chunk, so producers drain instead of hanging.
+    std::atomic<bool> poisoned{false};
+    // Fault sites, fetched at engine construction ("engine/shard/<i>/
+    // sink_stall" sleeps param() ns before the sink; ".../sink_throw"
+    // raises in place of the sink call).
+    fault::FaultPoint* fault_sink_stall = nullptr;
+    fault::FaultPoint* fault_sink_throw = nullptr;
   };
 
-  static void WorkerLoop(Shard* shard);
+  void WorkerLoop(Shard* shard);
+  // One chunk through the sink, with fault injection, poisoned-shard
+  // shedding, exception capture, and applied/shed accounting.
+  void ApplyChunk(Shard* shard, UpdateChunk* chunk);
+  // Watchdog thread body (only started when options.watchdog_ns > 0).
+  void WatchdogLoop();
+  // Records the first engine error (later ones are dropped -- the first
+  // failure is the cause, the rest are symptoms).
+  void RecordError(EngineErrorCode code, size_t shard, std::string detail);
 
   // Number of handles claimed so far, clamped to the preallocated pool.
   size_t ClaimedProducers() const;
@@ -360,6 +525,19 @@ class IngestEngine {
   ProducerHandle* internal_ = nullptr;  // lazily claimed by Submit()
   bool closed_ = false;
 
+  // First-error-wins failure record; error_flag_ is the lock-free "is
+  // anything wrong" fast check (Flush's wait loop, producers).
+  mutable std::mutex error_mu_;
+  EngineError error_;
+  std::atomic<bool> error_flag_{false};
+
+  std::thread watchdog_;
+  std::atomic<bool> watchdog_stop_{false};
+
+  // "engine/ring_full" fault site: a firing evaluation makes the producer
+  // treat its ring as full for param() ns -- the ring-full-storm lever.
+  fault::FaultPoint* fault_ring_full_ = nullptr;
+
   // Aggregation scratch (stats() is const but materializes here).
   mutable IngestStats agg_stats_;
 
@@ -369,9 +547,14 @@ class IngestEngine {
     obs::Counter* updates_submitted = nullptr;
     obs::Counter* chunks_committed = nullptr;
     obs::Counter* producer_stalls = nullptr;
+    obs::Counter* updates_shed = nullptr;
+    obs::Counter* updates_applied = nullptr;
+    obs::Counter* deadline_timeouts = nullptr;
+    obs::Counter* engine_errors = nullptr;
     obs::Histogram* producer_stall_ns = nullptr;
     obs::Histogram* flush_ns = nullptr;
     std::vector<obs::Counter*> shard_updates;
+    std::vector<obs::Counter*> shard_updates_shed;
     std::vector<obs::Gauge*> shard_ring_highwater;
     // Per-producer instruments ("engine/producer/<i>/..."), mirrored by
     // each handle at its Close().

@@ -77,10 +77,12 @@ class ShardedIngestor {
     engine_ = std::make_unique<IngestEngine>(options_, std::move(sinks));
   }
 
-  // Routes updates to the shard replicas (single producer thread).
-  void Submit(const Update* updates, size_t n) {
+  // Routes updates to the shard replicas (single producer thread), under
+  // the engine's overload policy (see ProducerHandle::Submit for the
+  // SubmitResult contract; trivially all-accepted under kBlock).
+  SubmitResult Submit(const Update* updates, size_t n) {
     GSTREAM_CHECK(engine_ != nullptr);
-    engine_->Submit(updates, n);
+    return engine_->Submit(updates, n);
   }
 
   // Claims a producer lane for a concurrent feed thread (see
@@ -91,17 +93,18 @@ class ShardedIngestor {
     GSTREAM_CHECK(engine_ != nullptr);
     return engine_->AddProducer();
   }
-  void SubmitStream(const Stream& stream) {
-    Submit(stream.updates().data(), stream.length());
+  SubmitResult SubmitStream(const Stream& stream) {
+    return Submit(stream.updates().data(), stream.length());
   }
 
   // Drains the rings and joins the workers WITHOUT merging, leaving every
   // replica's state intact -- the point where per-shard queries (e.g. a
   // kHashItem shard's sub-domain sketch) are race-free.  Close() may still
-  // be called afterwards to merge.
-  void Drain() {
+  // be called afterwards to merge.  Returns the engine's first recorded
+  // error (EngineError::ok() on a healthy run).
+  EngineError Drain() {
     GSTREAM_CHECK(engine_ != nullptr);
-    engine_->Close();
+    return engine_->Close();
   }
 
   // Drains the rings, joins the workers, merges every replica into shard
@@ -136,10 +139,19 @@ class ShardedIngestor {
   // Quiesce without closing: every committed chunk applied, workers parked.
   // Afterwards replicas() and stats() are race-free to read (and
   // serialize) until the next Submit -- the checkpoint hook
-  // (persist/checkpoint.h) is built on this.
-  void Flush() {
+  // (persist/checkpoint.h) is built on this.  Returns the engine's first
+  // recorded error (see IngestEngine::Flush for the degraded-shard grace
+  // contract).
+  EngineError Flush() {
     GSTREAM_CHECK(engine_ != nullptr);
-    engine_->Flush();
+    return engine_->Flush();
+  }
+
+  // The first failure recorded on the underlying engine (kNone while
+  // healthy; stable once Drain()/Close() returned).
+  EngineError error() const {
+    GSTREAM_CHECK(engine_ != nullptr);
+    return engine_->error();
   }
 
   IngestProducerState SnapshotProducerState() const {

@@ -814,6 +814,17 @@ bool FsyncParentDir(const std::string& path) {
 
 }  // namespace
 
+const char* WriteFaultName(WriteFault fault) {
+  switch (fault) {
+    case WriteFault::kNone: return "none";
+    case WriteFault::kCrashBeforeTmp: return "before-tmp";
+    case WriteFault::kCrashMidTmp: return "mid-tmp";
+    case WriteFault::kCrashBeforeRename: return "before-rename";
+    case WriteFault::kCrashBeforeDirFsync: return "before-dirsync";
+  }
+  return "unknown";
+}
+
 bool WriteFileAtomic(const std::string& path, std::string_view bytes,
                      WriteFault fault) {
   obs::Registry& registry = obs::Registry::Get();
@@ -848,6 +859,11 @@ bool WriteFileAtomic(const std::string& path, std::string_view bytes,
   if (!synced) return false;
   if (fault == WriteFault::kCrashBeforeRename) return false;
   if (::rename(tmp.c_str(), path.c_str()) != 0) return false;
+  // A crash here (after the rename, before the directory fsync) leaves the
+  // NEW complete file at `path`, but the rename may not survive a power
+  // cut -- the one phase where "return false" coexists with a loadable new
+  // image on the live filesystem.
+  if (fault == WriteFault::kCrashBeforeDirFsync) return false;
   // Persist the rename: without the directory fsync a crash can roll the
   // directory entry back to the old file even though the data blocks of
   // the new one are on disk.
@@ -863,21 +879,27 @@ std::optional<std::string> ReadFileBytes(const std::string& path,
   if (f == nullptr) {
     ReportStatus(LoadStatus::Fail(LoadError::kIoError,
                                   "cannot open " + path + ": " +
-                                      std::strerror(errno)),
+                                      std::strerror(errno) + " (errno " +
+                                      std::to_string(errno) + ")"),
                  status);
     return std::nullopt;
   }
   std::string bytes;
   char buffer[1 << 14];
   size_t got = 0;
+  errno = 0;
   while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
     bytes.append(buffer, got);
   }
   const bool read_error = std::ferror(f) != 0;
+  const int read_errno = errno;
   std::fclose(f);
   if (read_error) {
     ReportStatus(
-        LoadStatus::Fail(LoadError::kIoError, "read error on " + path),
+        LoadStatus::Fail(LoadError::kIoError,
+                         "read error on " + path + ": " +
+                             std::strerror(read_errno) + " (errno " +
+                             std::to_string(read_errno) + ")"),
         status);
     return std::nullopt;
   }

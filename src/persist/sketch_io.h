@@ -141,7 +141,17 @@ enum class WriteFault {
   kCrashBeforeTmp,  // die before creating the tmp file
   kCrashMidTmp,     // tmp holds a prefix of the bytes, no rename
   kCrashBeforeRename,  // tmp complete and fsynced, rename never happens
+  // Rename succeeded but the parent directory was never fsynced: the NEW
+  // complete file is in place (and loadable), but the rename itself is
+  // not yet durable -- after a power cut the directory may still resolve
+  // to the old version.  Either way, never a torn mix.
+  kCrashBeforeDirFsync,
 };
+
+// Stable lowercase phase name ("none", "before-tmp", "mid-tmp",
+// "before-rename", "before-dirsync") -- the `--fault=` spelling of
+// tools/ckpt_ingest and the phase reported in its --stats=json output.
+const char* WriteFaultName(WriteFault fault);
 
 // Atomically replaces `path` with `bytes`: writes `path`.tmp, fsyncs it,
 // renames over `path`, and fsyncs the parent directory, so a crash at any

@@ -5,10 +5,22 @@
 #include <cstring>
 #include <sstream>
 
+#include "util/fault.h"
+
 namespace gstream {
 namespace {
 
 constexpr char kMagic[] = "gstream-v1";
+
+// Real I/O failures carry "<syscall> failed: <strerror> (errno N)" so logs
+// can be correlated with the OS error; injected ones (fault sites below)
+// carry fault::InjectedFaultMessage instead -- the two are always
+// distinguishable by message shape.  tests/stream/stream_io_test.cc pins
+// both shapes.
+std::string ErrnoDetail(const char* op, int err) {
+  return std::string(op) + " failed: " + std::strerror(err) + " (errno " +
+         std::to_string(err) + ")";
+}
 
 // Strips a trailing comment and surrounding whitespace.
 std::string StripLine(const std::string& line) {
@@ -125,6 +137,9 @@ std::optional<Stream> StreamFromText(const std::string& text,
 }
 
 bool SaveStream(const Stream& stream, const std::string& path) {
+  static fault::FaultPoint* const kWriteFault =
+      fault::Registry::Get().GetPoint("stream_io/write_error");
+  if (kWriteFault->ShouldFire()) return false;
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   const std::string text = StreamToText(stream);
@@ -135,24 +150,52 @@ bool SaveStream(const Stream& stream, const std::string& path) {
 
 std::optional<Stream> LoadStream(const std::string& path,
                                  LoadStatus* status) {
+  // Fault sites (handles are process-lifetime, fetched once): injected
+  // open/read errors take exactly the real error paths below, but with the
+  // uniform injected-fault message in place of the errno detail.
+  static fault::FaultPoint* const kOpenFault =
+      fault::Registry::Get().GetPoint("stream_io/open_error");
+  static fault::FaultPoint* const kReadFault =
+      fault::Registry::Get().GetPoint("stream_io/read_error");
+  if (kOpenFault->ShouldFire()) {
+    ReportStatus(
+        LoadStatus::Fail(LoadError::kIoError,
+                         path + ": " +
+                             fault::InjectedFaultMessage(kOpenFault->name())),
+        status);
+    return std::nullopt;
+  }
   std::FILE* f = std::fopen(path.c_str(), "r");
   if (f == nullptr) {
     ReportStatus(LoadStatus::Fail(LoadError::kIoError,
-                                  path + ": " + std::strerror(errno)),
+                                  path + ": " + ErrnoDetail("open", errno)),
                  status);
+    return std::nullopt;
+  }
+  if (kReadFault->ShouldFire()) {
+    std::fclose(f);
+    ReportStatus(
+        LoadStatus::Fail(LoadError::kIoError,
+                         path + ": " +
+                             fault::InjectedFaultMessage(kReadFault->name())),
+        status);
     return std::nullopt;
   }
   std::string text;
   char buffer[1 << 14];
   size_t got = 0;
+  errno = 0;
   while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
     text.append(buffer, got);
   }
   const bool read_error = std::ferror(f) != 0;
+  const int read_errno = errno;
   std::fclose(f);
   if (read_error) {
-    ReportStatus(LoadStatus::Fail(LoadError::kIoError, path + ": read failed"),
-                 status);
+    ReportStatus(
+        LoadStatus::Fail(LoadError::kIoError,
+                         path + ": " + ErrnoDetail("read", read_errno)),
+        status);
     return std::nullopt;
   }
   return StreamFromText(text, status);

@@ -290,8 +290,21 @@ TEST(CheckpointTest, TornWriteAtEveryPhaseKeepsPreviousCheckpoint) {
     CheckpointImage loaded;
     const LoadStatus status = LoadCheckpoint(path, &loaded);
     ASSERT_TRUE(status.ok())
-        << "fault " << static_cast<int>(fault) << ": " << status.message;
+        << WriteFaultName(fault) << ": " << status.message;
     EXPECT_EQ(loaded.cursor, v1.cursor) << "fault leaked a partial v2";
+  }
+  // before-dirsync is the one phase past the rename: the NEW complete
+  // checkpoint is at `path` (the crash merely left its rename not yet
+  // durable), so recovery resumes from v2, never from a torn mix.
+  {
+    ASSERT_FALSE(SaveCheckpoint(v2, path, WriteFault::kCrashBeforeDirFsync));
+    CheckpointImage loaded;
+    const LoadStatus status = LoadCheckpoint(path, &loaded);
+    ASSERT_TRUE(status.ok()) << status.message;
+    EXPECT_EQ(loaded.cursor, v2.cursor);
+    // Reset to v1 so the final production-path assertion below still
+    // demonstrates the v1 -> v2 replacement.
+    ASSERT_TRUE(SaveCheckpoint(v1, path));
   }
   ASSERT_TRUE(SaveCheckpoint(v2, path));
   CheckpointImage loaded;

@@ -432,13 +432,25 @@ TEST(SketchIoTest, AtomicWriteSurvivesEveryInjectedFault) {
   const std::string v2_blob = SerializeSketch(v2);
   for (const WriteFault fault :
        {WriteFault::kCrashBeforeTmp, WriteFault::kCrashMidTmp,
-        WriteFault::kCrashBeforeRename}) {
+        WriteFault::kCrashBeforeRename, WriteFault::kCrashBeforeDirFsync}) {
+    // Rewrite v1 so every phase starts from the same previous version
+    // (the before-dirsync iteration, below, replaces the file).
+    ASSERT_TRUE(WriteFileAtomic(path, v1_blob));
     ASSERT_FALSE(WriteFileAtomic(path, v2_blob, fault));
-    // The previous complete version survives a crash at any phase.
+    // A complete version survives a crash at any phase: the previous one
+    // for the pre-rename phases; for before-dirsync the rename already
+    // happened, so the NEW complete file is in place (merely not yet
+    // durable against power loss) -- either way, never a torn mix.
     CountSketch restored = MakeCountSketch();
     const LoadStatus status = LoadSketch(path, &restored);
-    ASSERT_TRUE(status.ok()) << status.message;
-    EXPECT_EQ(SerializeSketch(restored), v1_blob);
+    ASSERT_TRUE(status.ok())
+        << WriteFaultName(fault) << ": " << status.message;
+    const std::string restored_blob = SerializeSketch(restored);
+    if (fault == WriteFault::kCrashBeforeDirFsync) {
+      EXPECT_EQ(restored_blob, v2_blob) << WriteFaultName(fault);
+    } else {
+      EXPECT_EQ(restored_blob, v1_blob) << WriteFaultName(fault);
+    }
   }
   // The production path replaces it.
   ASSERT_TRUE(WriteFileAtomic(path, v2_blob));
@@ -447,6 +459,18 @@ TEST(SketchIoTest, AtomicWriteSurvivesEveryInjectedFault) {
   EXPECT_EQ(SerializeSketch(restored), v2_blob);
   std::remove(path.c_str());
   std::remove((path + ".tmp").c_str());
+}
+
+TEST(SketchIoTest, WriteFaultNamesAreStable) {
+  // The names are a CLI/JSON surface (tools/ckpt_ingest --fault=,
+  // "fault_phase" in its --stats=json): renaming one is a breaking change.
+  EXPECT_STREQ(WriteFaultName(WriteFault::kNone), "none");
+  EXPECT_STREQ(WriteFaultName(WriteFault::kCrashBeforeTmp), "before-tmp");
+  EXPECT_STREQ(WriteFaultName(WriteFault::kCrashMidTmp), "mid-tmp");
+  EXPECT_STREQ(WriteFaultName(WriteFault::kCrashBeforeRename),
+               "before-rename");
+  EXPECT_STREQ(WriteFaultName(WriteFault::kCrashBeforeDirFsync),
+               "before-dirsync");
 }
 
 TEST(SketchIoTest, TornTmpWithoutPreviousVersionIsCleanAbsence) {

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <string>
 
 #include "stream/exact.h"
 #include "stream/generators.h"
@@ -85,6 +87,26 @@ TEST(StreamIoTest, LoadMissingFileFails) {
   EXPECT_EQ(status.error, LoadError::kIoError);
   EXPECT_NE(status.message.find("/nonexistent/path/stream.txt"),
             std::string::npos);
+}
+
+TEST(StreamIoTest, RealIoErrorMessagePinsErrnoShape) {
+  // The kIoError message shape for *real* failures is
+  // "<path>: <syscall> failed: <strerror> (errno N)" -- carrying the OS
+  // error so logs are actionable, and structurally distinct from injected
+  // faults (which carry "injected fault <site>" instead; pinned in
+  // tests/engine/fault_injection_test.cc).  A missing file is the
+  // always-reproducible real failure: ENOENT.
+  LoadStatus status;
+  EXPECT_FALSE(LoadStream("/nonexistent/path/stream.txt", &status)
+                   .has_value());
+  EXPECT_EQ(status.error, LoadError::kIoError);
+  EXPECT_NE(status.message.find("open failed: "), std::string::npos)
+      << status.message;
+  EXPECT_NE(status.message.find("(errno " + std::to_string(ENOENT) + ")"),
+            std::string::npos)
+      << status.message;
+  EXPECT_EQ(status.message.find("injected fault"), std::string::npos)
+      << status.message;
 }
 
 // ---------------------------------------------------------------------------

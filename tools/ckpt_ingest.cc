@@ -18,10 +18,13 @@
 // run --resume  and pins the final blob byte-identical to an uninterrupted
 // run, which is the checkpoint/restart bit-exactness contract.
 //
-// `--fault=before-tmp|mid-tmp|before-rename` injects a torn checkpoint
-// write at the chosen phase (the feed stops there, as if the process died
-// mid-write); a subsequent --resume must either load the previous complete
-// checkpoint or report a clean failure -- never parse garbage.
+// `--fault=before-tmp|mid-tmp|before-rename|before-dirsync` injects a torn
+// checkpoint write at the chosen phase (the feed stops there, as if the
+// process died mid-write); a subsequent --resume must either load a
+// complete checkpoint (the previous one -- or, for before-dirsync, the new
+// one, since the rename already happened) or report a clean failure --
+// never parse garbage.  --stats=json reports the injected phase by name
+// ("fault_phase") alongside the obs snapshot.
 
 #include <csignal>
 #include <cstdint>
@@ -92,9 +95,11 @@ Flags ParseFlags(int argc, char** argv) {
       else { std::fprintf(stderr, "ckpt_ingest: unknown --stats=%s\n", v.c_str()); std::exit(2); }
     }
     else if (ParseFlag(a, "--fault", &v)) {
+      // Spellings match WriteFaultName(), one per injectable phase.
       if (v == "before-tmp") f.fault = WriteFault::kCrashBeforeTmp;
       else if (v == "mid-tmp") f.fault = WriteFault::kCrashMidTmp;
       else if (v == "before-rename") f.fault = WriteFault::kCrashBeforeRename;
+      else if (v == "before-dirsync") f.fault = WriteFault::kCrashBeforeDirFsync;
       else { std::fprintf(stderr, "ckpt_ingest: unknown --fault=%s\n", v.c_str()); std::exit(2); }
     } else {
       std::fprintf(stderr, "ckpt_ingest: unknown flag %s\n", a);
@@ -160,12 +165,24 @@ int Run(const Flags& f) {
         }
         return true;
       });
+  const auto print_stats_json = [&f] {
+    // One JSON object: the injected torn-write phase by name ("none" on a
+    // clean run) plus the process-wide metrics snapshot.  Printed on the
+    // torn-write stop path too, so a harness driving --fault can pin the
+    // phase from the same output it already parses.
+    if (f.stats_json) {
+      std::printf("{\"fault_phase\": \"%s\", \"obs\": %s}\n",
+                  WriteFaultName(f.fault),
+                  obs::CurrentSnapshotJson().c_str());
+    }
+  };
   if (cursor < stream.length()) {
     std::fprintf(stderr,
                  "ckpt_ingest: stopped at cursor %llu of %llu "
                  "(checkpoint write failed)\n",
                  static_cast<unsigned long long>(cursor),
                  static_cast<unsigned long long>(stream.length()));
+    print_stats_json();
     return 1;
   }
 
@@ -180,9 +197,7 @@ int Run(const Flags& f) {
               static_cast<unsigned long long>(stats.chunks_committed),
               static_cast<unsigned long long>(stats.producer_stalls),
               f.out.c_str());
-  if (f.stats_json) {
-    std::printf("%s\n", obs::CurrentSnapshotJson().c_str());
-  }
+  print_stats_json();
   return 0;
 }
 
